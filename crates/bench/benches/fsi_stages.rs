@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the FSI pipeline stages and the baselines —
+//! one bench per row of the paper's algorithmic comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsi_bench::hubbard_matrix;
+use fsi_pcyclic::Spin;
+use fsi_runtime::Par;
+use fsi_selinv::baselines::{explicit_selected, full_inverse_selected};
+use fsi_selinv::{bsofi, cls, fsi_with_q, wrap, Parallelism, Pattern, Selection};
+
+const NX: usize = 5; // N = 25
+const L: usize = 24;
+const C: usize = 6;
+const Q: usize = 2;
+
+fn bench_stages(c: &mut Criterion) {
+    let pc = hubbard_matrix(NX, L, 1, Spin::Up);
+    let sel = Selection::new(Pattern::Columns, C, Q);
+    let clustered = cls(Par::Seq, Par::Seq, &pc, C, Q);
+    let g_red = bsofi(Par::Seq, Par::Seq, &clustered.reduced);
+
+    let mut g = c.benchmark_group("fsi_stages");
+    g.bench_function("cls", |b| {
+        b.iter(|| std::hint::black_box(cls(Par::Seq, Par::Seq, &pc, C, Q)));
+    });
+    g.bench_function("bsofi", |b| {
+        b.iter(|| std::hint::black_box(bsofi(Par::Seq, Par::Seq, &clustered.reduced)));
+    });
+    g.bench_function("wrap_columns", |b| {
+        b.iter(|| std::hint::black_box(wrap(Par::Seq, &pc, &clustered, &g_red, &sel)));
+    });
+    g.bench_function("fsi_total", |b| {
+        b.iter(|| std::hint::black_box(fsi_with_q(Parallelism::Serial, &pc, &sel)));
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let pc = hubbard_matrix(NX, L, 1, Spin::Up);
+    let sel = Selection::new(Pattern::Columns, C, Q);
+    let mut g = c.benchmark_group("baselines");
+    g.sample_size(10);
+    g.bench_function("explicit_columns", |b| {
+        b.iter(|| std::hint::black_box(explicit_selected(Par::Seq, &pc, &sel)));
+    });
+    g.bench_function("full_lu_inverse", |b| {
+        b.iter(|| std::hint::black_box(full_inverse_selected(Par::Seq, &pc, &sel)));
+    });
+    g.finish();
+}
+
+fn bench_patterns(c: &mut Criterion) {
+    let pc = hubbard_matrix(NX, L, 1, Spin::Up);
+    let mut g = c.benchmark_group("fsi_patterns");
+    for pattern in Pattern::ALL {
+        let sel = Selection::new(pattern, C, Q);
+        g.bench_function(format!("{pattern:?}"), |b| {
+            b.iter(|| std::hint::black_box(fsi_with_q(Parallelism::Serial, &pc, &sel)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(stages, bench_stages, bench_baselines, bench_patterns);
+criterion_main!(stages);

@@ -1,0 +1,72 @@
+//! Fig. 8 (bottom): FSI thread scalability on one socket — OpenMP mode
+//! vs MKL-style mode vs ideal scaling, threads 1..12 at
+//! `(N, L, c) = (576, 100, 10)`, b = 10 block columns.
+//!
+//! Two result sets are reported:
+//!
+//! * **measured** — real pools of T threads; meaningful only when the
+//!   host has ≥ T cores (this is what the paper measured on a 12-core
+//!   Ivy Bridge socket);
+//! * **simulated** — the greedy-scheduler replay of the sequentially
+//!   measured per-task durations (`fsi_runtime::sim`), which reproduces
+//!   the *shape* on any host (see DESIGN.md substitutions). The expected
+//!   shape: OpenMP tracks the ideal line closely; MKL-style saturates
+//!   early (Amdahl on the serial glue between kernels).
+
+use fsi_bench::{banner, hubbard_matrix, lattice_side_for, trace_fsi, Args};
+use fsi_pcyclic::Spin;
+use fsi_runtime::{Stopwatch, ThreadPool};
+use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.paper_scale();
+    let n_req = args.get_usize("N", if paper { 576 } else { 64 });
+    let l = args.get_usize("L", if paper { 100 } else { 60 });
+    let c = args.get_usize("c", if paper { 10 } else { 6 });
+    let max_threads = args.get_usize("threads", 12);
+    banner("FSI thread scalability (paper Fig. 8 bottom)", paper);
+    let nx = lattice_side_for(n_req);
+    let n = nx * nx;
+    println!(
+        "(N, L, c) = ({n}, {l}, {c}); host cores = {}\n",
+        fsi_runtime::hardware_threads()
+    );
+
+    let pc = hubbard_matrix(nx, l, 11, Spin::Up);
+    let sel = Selection::new(Pattern::Columns, c, c / 2);
+
+    // Sequential per-task trace for the simulator.
+    let traces = trace_fsi(&pc, &sel);
+    let t1 = traces.openmp.sequential();
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14} {:>8}",
+        "threads", "OpenMP [s]", "MKL [s]", "OpenMP sim x", "MKL sim x", "ideal x"
+    );
+    for t in 1..=max_threads {
+        let pool = ThreadPool::new(t);
+        let sw = Stopwatch::start();
+        let _ = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel);
+        let omp_measured = sw.seconds();
+        let sw = Stopwatch::start();
+        let _ = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel);
+        let mkl_measured = sw.seconds();
+
+        let omp_sim = traces.openmp.speedup(t);
+        let mkl_sim = traces.mkl.speedup(t);
+        println!(
+            "{:>8} {:>12.3} {:>12.3} {:>14.2} {:>14.2} {:>8}",
+            t, omp_measured, mkl_measured, omp_sim, mkl_sim, t
+        );
+    }
+    println!("\nsequential FSI time: {t1:.3}s");
+    println!("shape check (paper): OpenMP-simulated tracks ideal; MKL-style saturates early.");
+    if fsi_runtime::hardware_threads() < max_threads {
+        println!(
+            "NOTE: host has {} core(s) < {} threads — measured columns cannot show wall-clock\n      speedup here; the simulated columns carry the figure's shape (see DESIGN.md).",
+            fsi_runtime::hardware_threads(),
+            max_threads
+        );
+    }
+}

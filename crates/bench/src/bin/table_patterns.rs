@@ -1,0 +1,53 @@
+//! §II-B table: number of selected blocks and memory-reduction factor of
+//! the four selection patterns S1–S4, plus the measured memory of a real
+//! selection to confirm the bookkeeping.
+
+use fsi_bench::{banner, hubbard_matrix, Args};
+use fsi_pcyclic::Spin;
+use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+fn main() {
+    let args = Args::parse();
+    let l = args.get_usize("L", 100);
+    let c = args.get_usize("c", 10);
+    banner("Selected-inversion patterns (paper Sec. II-B table)", args.paper_scale());
+    let b = l / c;
+    println!("L = {l}, c = {c}, b = L/c = {b}\n");
+    println!(
+        "{:<20} {:>12} {:>18} {:>18}",
+        "pattern", "# blocks", "paper formula", "reduction factor"
+    );
+    for p in Pattern::ALL {
+        let formula = match p {
+            Pattern::Diagonal => "b".to_string(),
+            Pattern::SubDiagonal => "b or b-1".to_string(),
+            Pattern::Columns | Pattern::Rows => "bL".to_string(),
+        };
+        println!(
+            "{:<20} {:>12} {:>18} {:>15}x",
+            p.label(),
+            p.n_blocks(l, c),
+            formula,
+            p.reduction_factor(l, c)
+        );
+    }
+
+    // Confirm with actual storage on a small matrix.
+    let (nx, small_l, small_c) = (4usize, 24usize, 6usize);
+    let pc = hubbard_matrix(nx, small_l, 3, Spin::Up);
+    let n = nx * nx;
+    let full_bytes = (n * small_l) * (n * small_l) * 8;
+    println!("\nmeasured storage, (N, L, c) = ({n}, {small_l}, {small_c}); full inverse = {:.2} KiB:", full_bytes as f64 / 1024.0);
+    for p in Pattern::ALL {
+        let sel = Selection::new(p, small_c, 1);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let measured_reduction = full_bytes as f64 / out.selected.bytes() as f64;
+        println!(
+            "  {:<20} {:>10.2} KiB   measured reduction {:>8.1}x  (formula {}x)",
+            p.label(),
+            out.selected.bytes() as f64 / 1024.0,
+            measured_reduction,
+            p.reduction_factor(small_l, small_c)
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! §V-A correctness validation.
+//!
+//! The paper forms a 6400×6400 Hubbard matrix `(N, L) = (100, 64)` with
+//! `(t, β, σ, U) = (1, 1, 1, 2)`, computes `b` selected block columns
+//! with FSI, and checks the mean relative block error against MKL
+//! DGETRF/DGETRI stays below 1e-10.
+//!
+//! Default: `(N, L, c) = (36, 32, 8)` — finishes in seconds; the full
+//! paper shape runs with `--paper-scale` (`N = 100` → 10×10 lattice,
+//! `L = 64`, `c = 8`; the dense reference inversion of the 6400² matrix
+//! is the slow part).
+
+use fsi_bench::{banner, hubbard_matrix, lattice_side_for, Args};
+use fsi_pcyclic::Spin;
+use fsi_runtime::{Par, Stopwatch};
+use fsi_selinv::baselines::{full_inverse_selected, max_block_error, mean_block_error};
+use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.paper_scale();
+    let n = args.get_usize("N", if paper { 100 } else { 36 });
+    let l = args.get_usize("L", if paper { 64 } else { 32 });
+    let c = args.get_usize("c", 8);
+    let q = args.get_usize("q", 5);
+    banner("Correctness validation (paper Sec. V-A)", paper);
+    let nx = lattice_side_for(n);
+    let n = nx * nx;
+    println!("Hubbard matrix: (N, L) = ({n}, {l}), dim {}, (t, beta, U) = (1, 1, 2), c = {c}, q = {q}", n * l);
+
+    let pc = hubbard_matrix(nx, l, 2016, Spin::Up);
+    let sel = Selection::new(Pattern::Columns, c, q);
+
+    let sw = Stopwatch::start();
+    let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    println!("FSI: {} blocks in {:.3}s", out.selected.len(), sw.seconds());
+
+    let sw = Stopwatch::start();
+    let reference = full_inverse_selected(Par::Seq, &pc, &sel);
+    println!("dense LU reference (DGETRF+DGETRI equivalent): {:.3}s", sw.seconds());
+
+    let mean = mean_block_error(&out.selected, &reference);
+    let max = max_block_error(&out.selected, &reference);
+    println!("\nmean relative block error : {mean:.3e}   (paper threshold: < 1e-10)");
+    println!("max  relative block error : {max:.3e}");
+    let pass = mean < 1e-10;
+    println!("\nvalidation: {}", if pass { "PASSED" } else { "FAILED" });
+    if !pass {
+        std::process::exit(1);
+    }
+}

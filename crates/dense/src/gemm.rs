@@ -1,0 +1,463 @@
+//! Level-3 BLAS: general matrix-matrix multiply.
+//!
+//! `GEMM` dominates the FSI algorithm — the clustering stage is a chain of
+//! `B` products, the wrapping stage multiplies each produced block by a `B`
+//! factor, and BSOFI's `R⁻¹` and `X·Qᵀ` phases are block products. The paper
+//! highlights that FSI performance tracks DGEMM throughput, so this kernel
+//! is the crate's hot spot.
+//!
+//! The no-transpose path is cache-blocked (`MC × KC` panels of A against
+//! `KC`-deep strips of B) with a 4-column rank-1 micro-kernel whose inner
+//! loop is a contiguous fused multiply-add stream over a column of A, which
+//! LLVM vectorizes. Parallelism splits C into column chunks, one per pool
+//! thread — disjoint `MatMut`s, so no synchronization is needed inside.
+//!
+//! Transposed paths (`AᵀB`, `ABᵀ`, `AᵀBᵀ`) use dot/axpy formulations; they
+//! appear only in low-volume places (Householder applications use the
+//! dedicated blocked reflector kernels in [`crate::qr`] instead).
+
+use crate::matrix::{MatMut, MatRef, Matrix};
+use fsi_runtime::flops;
+use fsi_runtime::{parallel_for, Par, Schedule};
+
+/// Transposition selector for [`gemm_op`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Use the operand as stored.
+    NoTrans,
+    /// Use the transpose of the operand.
+    Trans,
+}
+
+impl Op {
+    /// Logical row count of `op(A)`.
+    fn rows(self, a: MatRef<'_>) -> usize {
+        match self {
+            Op::NoTrans => a.rows(),
+            Op::Trans => a.cols(),
+        }
+    }
+    /// Logical column count of `op(A)`.
+    fn cols(self, a: MatRef<'_>) -> usize {
+        match self {
+            Op::NoTrans => a.cols(),
+            Op::Trans => a.rows(),
+        }
+    }
+}
+
+/// Cache block: rows of A per panel.
+const MC: usize = 128;
+/// Cache block: depth per panel.
+const KC: usize = 192;
+
+/// `C := alpha·A·B + beta·C` (both operands as stored).
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm(par: Par<'_>, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c: MatMut<'_>) {
+    gemm_op(par, alpha, Op::NoTrans, a, Op::NoTrans, b, beta, c)
+}
+
+/// `C := alpha·op(A)·op(B) + beta·C`.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn gemm_op(
+    par: Par<'_>,
+    alpha: f64,
+    opa: Op,
+    a: MatRef<'_>,
+    opb: Op,
+    b: MatRef<'_>,
+    beta: f64,
+    mut c: MatMut<'_>,
+) {
+    let m = opa.rows(a);
+    let k = opa.cols(a);
+    let n = opb.cols(b);
+    assert_eq!(opb.rows(b), k, "gemm: inner dimensions disagree");
+    assert_eq!(c.rows(), m, "gemm: C row count mismatch");
+    assert_eq!(c.cols(), n, "gemm: C column count mismatch");
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Scale C by beta up front so the accumulation kernels only add.
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        c.scale(beta);
+    }
+    if k == 0 || alpha == 0.0 {
+        return;
+    }
+
+    flops::add_flops(flops::counts::gemm(m, n, k));
+
+    let threads = par.threads().min(n).max(1);
+    if threads <= 1 {
+        accumulate(alpha, opa, a, opb, b, c);
+        return;
+    }
+    let pool = par.pool().expect("threads > 1 implies pool");
+    let chunk = n.div_ceil(threads);
+    let c_chunks = c.split_cols_chunks(chunk);
+    pool.scope(|s| {
+        for (t, mut cc) in c_chunks.into_iter().enumerate() {
+            let j0 = t * chunk;
+            let bc = match opb {
+                Op::NoTrans => b.submatrix(0, j0, k, cc.cols()),
+                Op::Trans => b.submatrix(j0, 0, cc.cols(), k),
+            };
+            s.spawn(move || accumulate(alpha, opa, a, opb, bc, cc.rb_mut()));
+        }
+    });
+}
+
+/// Dispatches to the per-shape accumulation kernel: `C += alpha·op(A)·op(B)`.
+fn accumulate(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, c: MatMut<'_>) {
+    match (opa, opb) {
+        (Op::NoTrans, Op::NoTrans) => acc_nn(alpha, a, b, c),
+        (Op::Trans, Op::NoTrans) => acc_tn(alpha, a, b, c),
+        (Op::NoTrans, Op::Trans) => acc_nt(alpha, a, b, c),
+        (Op::Trans, Op::Trans) => acc_tt(alpha, a, b, c),
+    }
+}
+
+/// Blocked `C += alpha·A·B`, the hot path.
+fn acc_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut pc = 0;
+    while pc < k {
+        let kc = KC.min(k - pc);
+        let mut ic = 0;
+        while ic < m {
+            let mc = MC.min(m - ic);
+            micro_nn(
+                alpha,
+                a.submatrix(ic, pc, mc, kc),
+                b.submatrix(pc, 0, kc, n),
+                c.rb_mut().submatrix(ic, 0, mc, n),
+            );
+            ic += mc;
+        }
+        pc += kc;
+    }
+}
+
+/// Rank-1 micro-kernel over 4 columns of C at a time.
+///
+/// For each quad of C columns and each depth index `p`, streams column `p`
+/// of A once against four B scalars. The inner loop is contiguous in both
+/// A's column and C's columns, so it vectorizes.
+fn micro_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut j = 0;
+    while j + 4 <= n {
+        // SAFETY: per-column slices are disjoint (j..j+4); raw pointers are
+        // needed because MatMut cannot hand out four simultaneous &mut
+        // columns. Bounds: j + 3 < n and every slice has length m.
+        unsafe {
+            let c0 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j).as_mut_ptr(), m);
+            let c1 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 1).as_mut_ptr(), m);
+            let c2 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 2).as_mut_ptr(), m);
+            let c3 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 3).as_mut_ptr(), m);
+            for p in 0..k {
+                let ap = a.col(p);
+                let b0 = alpha * b.at_unchecked(p, j);
+                let b1 = alpha * b.at_unchecked(p, j + 1);
+                let b2 = alpha * b.at_unchecked(p, j + 2);
+                let b3 = alpha * b.at_unchecked(p, j + 3);
+                for i in 0..m {
+                    let av = *ap.get_unchecked(i);
+                    *c0.get_unchecked_mut(i) += av * b0;
+                    *c1.get_unchecked_mut(i) += av * b1;
+                    *c2.get_unchecked_mut(i) += av * b2;
+                    *c3.get_unchecked_mut(i) += av * b3;
+                }
+            }
+        }
+        j += 4;
+    }
+    // Remainder columns: one safe axpy stream per column.
+    while j < n {
+        let mut cj_view = c.rb_mut().submatrix(0, j, m, 1);
+        let cj = cj_view.col_mut(0);
+        for p in 0..k {
+            crate::blas::axpy(alpha * b.at(p, j), a.col(p), cj);
+        }
+        j += 1;
+    }
+}
+
+/// `C += alpha·Aᵀ·B` via dot products down contiguous columns.
+fn acc_tn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, n) = (c.rows(), c.cols());
+    for j in 0..n {
+        let bj = b.col(j);
+        for i in 0..m {
+            *c.at_mut(i, j) += alpha * crate::blas::dot(a.col(i), bj);
+        }
+    }
+}
+
+/// `C += alpha·A·Bᵀ` via axpy streams over columns of A.
+fn acc_nt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, n) = (c.rows(), c.cols());
+    let k = a.cols();
+    for j in 0..n {
+        let mut cj_view = c.rb_mut().submatrix(0, j, m, 1);
+        let cj = cj_view.col_mut(0);
+        for p in 0..k {
+            crate::blas::axpy(alpha * b.at(j, p), a.col(p), cj);
+        }
+    }
+}
+
+/// `C += alpha·Aᵀ·Bᵀ` (rare; strided dot).
+fn acc_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let (m, n) = (c.rows(), c.cols());
+    let k = a.rows();
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = 0.0;
+            for p in 0..k {
+                s += a.at(p, i) * b.at(j, p);
+            }
+            *c.at_mut(i, j) += alpha * s;
+        }
+    }
+}
+
+/// Convenience: allocates and returns `A·B` (sequential).
+pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(Par::Seq, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    c
+}
+
+/// Convenience: allocates and returns `A·B` using the given parallelism.
+pub fn mul_par(par: Par<'_>, a: &Matrix, b: &Matrix) -> Matrix {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    gemm(par, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+    c
+}
+
+/// Multiplies a chain `M_1 · M_2 · ⋯ · M_p` left to right, optionally
+/// parallelizing each product. Used by the clustering stage and by the
+/// explicit-inversion baseline's matrix chains.
+///
+/// # Panics
+/// Panics if the chain is empty or shapes are incompatible.
+pub fn chain_mul(par: Par<'_>, factors: &[&Matrix]) -> Matrix {
+    let (first, rest) = factors.split_first().expect("chain_mul needs a factor");
+    let mut acc = (*first).clone();
+    for f in rest {
+        acc = mul_par(par, &acc, f);
+    }
+    acc
+}
+
+/// A deterministic splitmix64-based pseudo-random matrix for tests and
+/// benches, without requiring a rand dependency in this crate.
+pub fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z = z ^ (z >> 31);
+        // Map to (-1, 1).
+        (z >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    Matrix::from_fn(rows, cols, |_, _| next())
+}
+
+/// Schedule used when callers parallelize *over* many independent gemms
+/// instead of inside one: re-exported for symmetry in the FSI drivers.
+pub const OUTER_SCHEDULE: Schedule = Schedule::Dynamic(1);
+
+/// Runs `n_tasks` independent closures, each performing its own sequential
+/// gemms — the "parallel outside, sequential inside" pattern of the FSI
+/// OpenMP mode.
+pub fn parallel_tasks<F: Fn(usize) + Sync>(par: Par<'_>, n_tasks: usize, f: F) {
+    parallel_for(par, n_tasks, OUTER_SCHEDULE, f);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_runtime::ThreadPool;
+
+    fn naive(opa: Op, a: &Matrix, opb: Op, b: &Matrix) -> Matrix {
+        let at = match opa {
+            Op::NoTrans => a.clone(),
+            Op::Trans => a.transpose(),
+        };
+        let bt = match opb {
+            Op::NoTrans => b.clone(),
+            Op::Trans => b.transpose(),
+        };
+        let mut c = Matrix::zeros(at.rows(), bt.cols());
+        for i in 0..at.rows() {
+            for j in 0..bt.cols() {
+                let mut s = 0.0;
+                for p in 0..at.cols() {
+                    s += at[(i, p)] * bt[(p, j)];
+                }
+                c[(i, j)] = s;
+            }
+        }
+        c
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        let mut d = a.clone();
+        d.sub_assign(b);
+        let scale = b.max_abs().max(1.0);
+        assert!(
+            d.max_abs() <= tol * scale,
+            "matrices differ: |diff|={} scale={}",
+            d.max_abs(),
+            scale
+        );
+    }
+
+    #[test]
+    fn nn_matches_naive_on_odd_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (130, 200, 65), (64, 64, 64)] {
+            let a = test_matrix(m, k, 1);
+            let b = test_matrix(k, n, 2);
+            let c = mul(&a, &b);
+            assert_close(&c, &naive(Op::NoTrans, &a, Op::NoTrans, &b), 1e-13);
+        }
+    }
+
+    #[test]
+    fn alpha_beta_combinations() {
+        let a = test_matrix(8, 6, 3);
+        let b = test_matrix(6, 10, 4);
+        let c0 = test_matrix(8, 10, 5);
+        for &(alpha, beta) in &[(1.0, 0.0), (2.0, 1.0), (-0.5, 0.25), (0.0, 2.0), (1.0, 1.0)] {
+            let mut c = c0.clone();
+            gemm(Par::Seq, alpha, a.as_ref(), b.as_ref(), beta, c.as_mut());
+            let mut want = naive(Op::NoTrans, &a, Op::NoTrans, &b);
+            want.scale(alpha);
+            let mut scaled_c0 = c0.clone();
+            scaled_c0.scale(beta);
+            want.add_assign(&scaled_c0);
+            assert_close(&c, &want, 1e-13);
+        }
+    }
+
+    #[test]
+    fn transposed_paths_match_naive() {
+        let cases = [
+            (Op::Trans, Op::NoTrans),
+            (Op::NoTrans, Op::Trans),
+            (Op::Trans, Op::Trans),
+        ];
+        for (opa, opb) in cases {
+            let (m, k, n) = (9, 7, 11);
+            let a = match opa {
+                Op::NoTrans => test_matrix(m, k, 10),
+                Op::Trans => test_matrix(k, m, 10),
+            };
+            let b = match opb {
+                Op::NoTrans => test_matrix(k, n, 11),
+                Op::Trans => test_matrix(n, k, 11),
+            };
+            let mut c = Matrix::zeros(m, n);
+            gemm_op(Par::Seq, 1.0, opa, a.as_ref(), opb, b.as_ref(), 0.0, c.as_mut());
+            assert_close(&c, &naive(opa, &a, opb, &b), 1e-13);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let a = test_matrix(150, 90, 20);
+        let b = test_matrix(90, 170, 21);
+        let seq = mul(&a, &b);
+        let par = mul_par(Par::Pool(&pool), &a, &b);
+        assert_close(&par, &seq, 1e-14);
+        // Also with transposes.
+        let mut c1 = Matrix::zeros(90, 170);
+        let mut c2 = Matrix::zeros(90, 170);
+        gemm_op(Par::Seq, 1.0, Op::Trans, a.as_ref(), Op::NoTrans, seq.as_ref(), 0.0, c1.as_mut());
+        gemm_op(
+            Par::Pool(&pool),
+            1.0,
+            Op::Trans,
+            a.as_ref(),
+            Op::NoTrans,
+            seq.as_ref(),
+            0.0,
+            c2.as_mut(),
+        );
+        assert_close(&c1, &c2, 1e-14);
+    }
+
+    #[test]
+    fn gemm_on_submatrix_views() {
+        let a = test_matrix(12, 12, 30);
+        let b = test_matrix(12, 12, 31);
+        let mut c = Matrix::zeros(12, 12);
+        // Multiply the centre 6×6 blocks only.
+        gemm(
+            Par::Seq,
+            1.0,
+            a.view(3, 3, 6, 6),
+            b.view(3, 3, 6, 6),
+            0.0,
+            c.view_mut(3, 3, 6, 6),
+        );
+        let ab = mul(&a.block(3, 3, 6, 6), &b.block(3, 3, 6, 6));
+        assert_close(&c.block(3, 3, 6, 6), &ab, 1e-13);
+        assert_eq!(c[(0, 0)], 0.0, "outside the target block untouched");
+    }
+
+    #[test]
+    fn empty_k_only_applies_beta() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 2.0);
+        gemm(Par::Seq, 1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        assert_eq!(c[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn chain_mul_left_to_right() {
+        let a = test_matrix(4, 4, 40);
+        let b = test_matrix(4, 4, 41);
+        let c = test_matrix(4, 4, 42);
+        let abc = chain_mul(Par::Seq, &[&a, &b, &c]);
+        assert_close(&abc, &mul(&mul(&a, &b), &c), 1e-13);
+        let single = chain_mul(Par::Seq, &[&a]);
+        assert_close(&single, &a, 0.0);
+    }
+
+    #[test]
+    fn flops_are_counted() {
+        fsi_runtime::reset_flops();
+        let a = test_matrix(10, 20, 50);
+        let b = test_matrix(20, 30, 51);
+        let before = fsi_runtime::flop_count();
+        let _ = mul(&a, &b);
+        let counted = fsi_runtime::flop_count() - before;
+        assert_eq!(counted, 2 * 10 * 20 * 30);
+    }
+
+    #[test]
+    fn test_matrix_is_deterministic_and_bounded() {
+        let a = test_matrix(5, 5, 7);
+        let b = test_matrix(5, 5, 7);
+        assert_eq!(a, b);
+        assert!(a.max_abs() <= 1.0);
+        let c = test_matrix(5, 5, 8);
+        assert_ne!(a, c);
+    }
+}

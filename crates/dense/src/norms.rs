@@ -1,0 +1,84 @@
+//! Matrix norms and error metrics.
+
+use crate::matrix::Matrix;
+
+/// One-norm: maximum absolute column sum. Drives the scaling choice in the
+/// matrix exponential.
+pub fn norm1(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let s: f64 = a.as_ref().col(j).iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Infinity-norm: maximum absolute row sum.
+pub fn norm_inf(a: &Matrix) -> f64 {
+    let mut sums = vec![0.0f64; a.rows()];
+    for j in 0..a.cols() {
+        for (i, &x) in a.as_ref().col(j).iter().enumerate() {
+            sums[i] += x.abs();
+        }
+    }
+    sums.into_iter().fold(0.0, f64::max)
+}
+
+/// Frobenius norm.
+pub fn frobenius(a: &Matrix) -> f64 {
+    a.as_ref().frobenius_norm()
+}
+
+/// Relative Frobenius distance `‖A − B‖_F / max(‖B‖_F, ε)` — the metric the
+/// paper's §V-A validation uses per block.
+pub fn rel_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "rel_error shapes");
+    let mut d = a.clone();
+    d.sub_assign(b);
+    frobenius(&d) / frobenius(b).max(f64::MIN_POSITIVE)
+}
+
+/// One-norm condition number computed from an explicit inverse — O(n³),
+/// intended for validation harnesses (the paper quotes κ(M) ≈ 10⁵ for its
+/// test matrix).
+pub fn cond1(a: &Matrix) -> crate::error::Result<f64> {
+    let inv = crate::lu::inverse(a)?;
+    Ok(norm1(a) * norm1(&inv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_known_matrix() {
+        // [[1, -2], [3, 4]] column-major.
+        let a = Matrix::from_col_major(2, 2, vec![1.0, 3.0, -2.0, 4.0]);
+        assert_eq!(norm1(&a), 6.0); // max(|1|+|3|, |−2|+|4|)
+        assert_eq!(norm_inf(&a), 7.0); // max(1+2, 3+4)
+        assert!((frobenius(&a) - (30.0f64).sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rel_error_zero_for_identical() {
+        let a = crate::gemm::test_matrix(5, 5, 1);
+        assert_eq!(rel_error(&a, &a), 0.0);
+        let mut b = a.clone();
+        b.scale(1.0 + 1e-8);
+        let e = rel_error(&b, &a);
+        assert!(e > 0.0 && e < 1e-7);
+    }
+
+    #[test]
+    fn cond_of_identity_is_one() {
+        let c = cond1(&Matrix::identity(10)).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cond_grows_with_scaling_imbalance() {
+        let d = Matrix::diag(&[1.0, 1e-6]);
+        let c = cond1(&d).unwrap();
+        assert!((c - 1e6).abs() / 1e6 < 1e-10);
+    }
+}

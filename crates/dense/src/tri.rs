@@ -1,0 +1,468 @@
+//! Triangular kernels: solves (TRSM) and triangular inversion (TRTRI).
+//!
+//! Only the variants the factorizations need are implemented, each as a
+//! clearly named function instead of a flag soup:
+//!
+//! * forward/back substitution against `L` (unit lower) and `U` (upper),
+//!   plus their transposed forms — the building blocks of `getrs`;
+//! * in-place inversion of an upper triangle — used by BSOFI's structured
+//!   `R⁻¹` and by `getri`.
+//!
+//! All kernels access matrix columns contiguously (column-major layout), so
+//! the inner loops are axpy/dot streams.
+
+use crate::blas::{axpy, dot};
+use crate::gemm::{gemm_op, Op};
+use crate::matrix::{MatMut, MatRef};
+use fsi_runtime::{flops, Par};
+
+/// Diagonal-block size of the blocked substitutions: each `TB × TB`
+/// triangle is solved with the scalar kernel, and the off-diagonal
+/// updates flow through GEMM (level-3), which is what keeps the wrapping
+/// stage of FSI at DGEMM-like rates.
+const TB: usize = 48;
+
+/// Solves `L·X = B` in place (`B := L⁻¹B`) with `L` unit lower triangular.
+///
+/// # Panics
+/// Panics unless `L` is square with side `B.rows()`.
+pub fn solve_unit_lower(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(l, b.rows());
+    let nrhs = b.cols();
+    let mut j0 = 0;
+    while j0 < n {
+        let tb = TB.min(n - j0);
+        solve_unit_lower_unblocked(
+            l.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(j0, 0, tb, nrhs),
+        );
+        if j0 + tb < n {
+            // B[j0+tb.., :] −= L[j0+tb.., j0..j0+tb] · X[j0..j0+tb, :]
+            let lower = l.submatrix(j0 + tb, j0, n - j0 - tb, tb);
+            let (top, rest) = b.rb_mut().split_at_row(j0 + tb);
+            let solved = top.as_ref().submatrix(j0, 0, tb, nrhs);
+            gemm_raw(lower, solved, rest);
+        }
+        j0 += tb;
+    }
+}
+
+fn solve_unit_lower_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = l.rows();
+    flops::add_flops(flops::counts::trsm(n, b.cols()));
+    for c in 0..b.cols() {
+        let col = b.col_mut(c);
+        for j in 0..n {
+            let bj = col[j];
+            if bj != 0.0 {
+                axpy(-bj, &l.col(j)[j + 1..], &mut col[j + 1..]);
+            }
+        }
+    }
+}
+
+/// Solves `U·X = B` in place (`B := U⁻¹B`) with `U` upper triangular
+/// (non-unit diagonal).
+///
+/// # Panics
+/// Panics on shape mismatch or an exactly zero diagonal entry.
+pub fn solve_upper(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(u, b.rows());
+    let nrhs = b.cols();
+    // Walk the diagonal blocks bottom-up.
+    let mut j1 = n;
+    while j1 > 0 {
+        let tb = TB.min(j1);
+        let j0 = j1 - tb;
+        solve_upper_unblocked(
+            u.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(j0, 0, tb, nrhs),
+        );
+        if j0 > 0 {
+            // B[..j0, :] −= U[..j0, j0..j1] · X[j0..j1, :]
+            let upper = u.submatrix(0, j0, j0, tb);
+            let (rest, bottom) = b.rb_mut().split_at_row(j0);
+            let solved = bottom.as_ref().submatrix(0, 0, tb, nrhs);
+            gemm_raw(upper, solved, rest);
+        }
+        j1 = j0;
+    }
+}
+
+fn solve_upper_unblocked(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.rows();
+    flops::add_flops(flops::counts::trsm(n, b.cols()));
+    for c in 0..b.cols() {
+        let col = b.col_mut(c);
+        for j in (0..n).rev() {
+            let ujj = u.at(j, j);
+            assert!(ujj != 0.0, "singular upper triangle at {j}");
+            let bj = col[j] / ujj;
+            col[j] = bj;
+            if bj != 0.0 {
+                axpy(-bj, &u.col(j)[..j], &mut col[..j]);
+            }
+        }
+    }
+}
+
+/// Solves `Lᵀ·X = B` in place with `L` unit lower triangular.
+pub fn solve_unit_lower_trans(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(l, b.rows());
+    let nrhs = b.cols();
+    // Lᵀ is upper triangular: walk the diagonal blocks bottom-up; the
+    // off-diagonal update uses (Lᵀ)[..j0, j0..j1] = L[j0..j1, ..j0]ᵀ.
+    let mut j1 = n;
+    while j1 > 0 {
+        let tb = TB.min(j1);
+        let j0 = j1 - tb;
+        solve_unit_lower_trans_unblocked(
+            l.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(j0, 0, tb, nrhs),
+        );
+        if j0 > 0 {
+            let left = l.submatrix(j0, 0, tb, j0);
+            let (rest, bottom) = b.rb_mut().split_at_row(j0);
+            let solved = bottom.as_ref().submatrix(0, 0, tb, nrhs);
+            gemm_op(Par::Seq, -1.0, Op::Trans, left, Op::NoTrans, solved, 1.0, rest);
+        }
+        j1 = j0;
+    }
+}
+
+fn solve_unit_lower_trans_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = l.rows();
+    flops::add_flops(flops::counts::trsm(n, b.cols()));
+    for c in 0..b.cols() {
+        let col = b.col_mut(c);
+        for j in (0..n).rev() {
+            col[j] -= dot(&l.col(j)[j + 1..], &col[j + 1..]);
+        }
+    }
+}
+
+/// Solves `Uᵀ·X = B` in place with `U` upper triangular (non-unit).
+///
+/// # Panics
+/// Panics on shape mismatch or an exactly zero diagonal entry.
+pub fn solve_upper_trans(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(u, b.rows());
+    let nrhs = b.cols();
+    // Uᵀ is lower triangular: walk top-down; the off-diagonal update uses
+    // (Uᵀ)[j1.., j0..j1] = U[j0..j1, j1..]ᵀ.
+    let mut j0 = 0;
+    while j0 < n {
+        let tb = TB.min(n - j0);
+        solve_upper_trans_unblocked(
+            u.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(j0, 0, tb, nrhs),
+        );
+        if j0 + tb < n {
+            let right = u.submatrix(j0, j0 + tb, tb, n - j0 - tb);
+            let (top, rest) = b.rb_mut().split_at_row(j0 + tb);
+            let solved = top.as_ref().submatrix(j0, 0, tb, nrhs);
+            gemm_op(Par::Seq, -1.0, Op::Trans, right, Op::NoTrans, solved, 1.0, rest);
+        }
+        j0 += tb;
+    }
+}
+
+fn solve_upper_trans_unblocked(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.rows();
+    flops::add_flops(flops::counts::trsm(n, b.cols()));
+    for c in 0..b.cols() {
+        let col = b.col_mut(c);
+        for j in 0..n {
+            let ujj = u.at(j, j);
+            assert!(ujj != 0.0, "singular upper triangle at {j}");
+            col[j] = (col[j] - dot(&u.col(j)[..j], &col[..j])) / ujj;
+        }
+    }
+}
+
+/// Off-diagonal substitution update `C −= A·B` (GEMM accounts for its own
+/// flops; together with the per-triangle charges the total matches the
+/// textbook n²·nrhs).
+fn gemm_raw(a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
+    crate::gemm::gemm(Par::Seq, -1.0, a, b, 1.0, c);
+}
+
+
+/// Solves `X·U = B` in place (`B := B·U⁻¹`) with `U` upper triangular
+/// (non-unit). Right-side solves keep the wrapping relation
+/// `G(k,ℓ+1) = G(k,ℓ)·B⁻¹` transpose-free and GEMM-rich.
+///
+/// # Panics
+/// Panics on shape mismatch or an exactly zero diagonal entry.
+pub fn solve_upper_right(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(u, b.cols());
+    let nrhs = b.rows();
+    // Column blocks left-to-right: solve X[:, j0..j1]·U[j0..j1, j0..j1] =
+    // B[:, j0..j1] − X[:, ..j0]·U[..j0, j0..j1].
+    let mut j0 = 0;
+    while j0 < n {
+        let tb = TB.min(n - j0);
+        if j0 > 0 {
+            let above = u.submatrix(0, j0, j0, tb);
+            let (solved, rest) = b.rb_mut().split_at_col(j0);
+            let target = rest.submatrix(0, 0, nrhs, tb);
+            gemm_raw(solved.as_ref(), above, target);
+        }
+        solve_upper_right_unblocked(
+            u.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(0, j0, nrhs, tb),
+        );
+        j0 += tb;
+    }
+}
+
+fn solve_upper_right_unblocked(u: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = u.cols();
+    flops::add_flops(flops::counts::trsm(n, b.rows()));
+    for j in 0..n {
+        let ujj = u.at(j, j);
+        assert!(ujj != 0.0, "singular upper triangle at {j}");
+        // X[:, j] = (B[:, j] − Σ_{p<j} X[:, p]·U[p, j]) / U[j, j]
+        for p in 0..j {
+            let upj = u.at(p, j);
+            if upj != 0.0 {
+                let (left, mut rest) = b.rb_mut().split_at_col(j);
+                axpy(-upj, left.as_ref().col(p), rest.col_mut(0));
+            }
+        }
+        let inv = 1.0 / ujj;
+        for x in b.col_mut(j) {
+            *x *= inv;
+        }
+    }
+}
+
+/// Solves `X·L = B` in place (`B := B·L⁻¹`) with `L` unit lower
+/// triangular.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn solve_unit_lower_right(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = check_square(l, b.cols());
+    let nrhs = b.rows();
+    // Column blocks right-to-left: X[:, j0..j1] = B[:, j0..j1] −
+    // X[:, j1..]·L[j1.., j0..j1], then the diagonal triangle.
+    let mut j1 = n;
+    while j1 > 0 {
+        let tb = TB.min(j1);
+        let j0 = j1 - tb;
+        if j1 < n {
+            let below = l.submatrix(j1, j0, n - j1, tb);
+            let (left, solved) = b.rb_mut().split_at_col(j1);
+            let target = left.submatrix(0, j0, nrhs, tb);
+            gemm_raw(solved.as_ref(), below, target);
+        }
+        solve_unit_lower_right_unblocked(
+            l.submatrix(j0, j0, tb, tb),
+            b.rb_mut().submatrix(0, j0, nrhs, tb),
+        );
+        j1 = j0;
+    }
+}
+
+fn solve_unit_lower_right_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
+    let n = l.cols();
+    flops::add_flops(flops::counts::trsm(n, b.rows()));
+    // X[:, j] = B[:, j] − Σ_{p>j} X[:, p]·L[p, j], solved right-to-left.
+    for j in (0..n).rev() {
+        for p in j + 1..n {
+            let lpj = l.at(p, j);
+            if lpj != 0.0 {
+                let (mut left, right) = b.rb_mut().split_at_col(p);
+                let rows = left.rows();
+                let mut target = left.rb_mut().submatrix(0, j, rows, 1);
+                axpy(-lpj, right.as_ref().col(0), target.col_mut(0));
+            }
+        }
+    }
+}
+
+/// In-place inversion of an upper triangle (entries below the diagonal are
+/// ignored and left untouched).
+///
+/// # Panics
+/// Panics on an exactly zero diagonal entry.
+pub fn invert_upper(mut u: MatMut<'_>) {
+    let n = u.rows();
+    assert_eq!(u.cols(), n, "invert_upper needs a square matrix");
+    flops::add_flops(flops::counts::trtri(n) * 2);
+    // Column-oriented TRTRI: for each column j compute X[0..j, j] from the
+    // already-inverted leading triangle.
+    for j in 0..n {
+        let ujj = u.at(j, j);
+        assert!(ujj != 0.0, "singular upper triangle at {j}");
+        let xjj = 1.0 / ujj;
+        u.set(j, j, xjj);
+        if j == 0 {
+            continue;
+        }
+        // v := U[0..j, j] (original column), X[0..j, j] := −X[0..j,0..j]·v·xjj
+        let v: Vec<f64> = (0..j).map(|i| u.at(i, j)).collect();
+        for i in 0..j {
+            // X[i, j] = −xjj · Σ_{p=i..j-1} X[i, p] v[p]
+            let mut s = 0.0;
+            for (p, vp) in v.iter().enumerate().skip(i) {
+                s += u.at(i, p) * vp;
+            }
+            u.set(i, j, -xjj * s);
+        }
+    }
+}
+
+fn check_square(t: MatRef<'_>, rows: usize) -> usize {
+    assert_eq!(t.rows(), t.cols(), "triangular factor must be square");
+    assert_eq!(t.rows(), rows, "triangular side mismatch");
+    t.rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{mul, test_matrix};
+    use crate::matrix::Matrix;
+
+    /// A well-conditioned random lower unit triangle.
+    fn unit_lower(n: usize, seed: u64) -> Matrix {
+        let r = test_matrix(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                0.3 * r[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// A well-conditioned random upper triangle.
+    fn upper(n: usize, seed: u64) -> Matrix {
+        let r = test_matrix(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                1.5 + r[(i, j)].abs()
+            } else if i < j {
+                0.3 * r[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn residual(a: &Matrix, x: &Matrix, b: &Matrix) -> f64 {
+        let mut r = mul(a, x);
+        r.sub_assign(b);
+        r.max_abs()
+    }
+
+    #[test]
+    fn unit_lower_solve() {
+        let l = unit_lower(20, 1);
+        let b = test_matrix(20, 5, 2);
+        let mut x = b.clone();
+        solve_unit_lower(l.as_ref(), x.as_mut());
+        assert!(residual(&l, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn upper_solve() {
+        let u = upper(20, 3);
+        let b = test_matrix(20, 5, 4);
+        let mut x = b.clone();
+        solve_upper(u.as_ref(), x.as_mut());
+        assert!(residual(&u, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn unit_lower_trans_solve() {
+        let l = unit_lower(15, 5);
+        let b = test_matrix(15, 3, 6);
+        let mut x = b.clone();
+        solve_unit_lower_trans(l.as_ref(), x.as_mut());
+        assert!(residual(&l.transpose(), &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn upper_trans_solve() {
+        let u = upper(15, 7);
+        let b = test_matrix(15, 3, 8);
+        let mut x = b.clone();
+        solve_upper_trans(u.as_ref(), x.as_mut());
+        assert!(residual(&u.transpose(), &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn invert_upper_gives_inverse() {
+        let u = upper(25, 9);
+        let mut x = u.clone();
+        invert_upper(x.as_mut());
+        // Zero out the (ignored) strict lower part before multiplying.
+        let x = Matrix::from_fn(25, 25, |i, j| if i <= j { x[(i, j)] } else { 0.0 });
+        let mut prod = mul(&u, &x);
+        prod.add_diag(-1.0);
+        assert!(prod.max_abs() < 1e-12, "U·U⁻¹ ≉ I: {}", prod.max_abs());
+    }
+
+    #[test]
+    fn invert_upper_identity_is_fixed_point() {
+        let mut i3 = Matrix::identity(3);
+        invert_upper(i3.as_mut());
+        assert_eq!(i3, Matrix::identity(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "singular upper triangle")]
+    fn singular_diagonal_panics() {
+        let mut u = Matrix::identity(3);
+        u[(1, 1)] = 0.0;
+        let b = Matrix::zeros(3, 1);
+        let mut x = b.clone();
+        solve_upper(u.as_ref(), x.as_mut());
+    }
+
+    #[test]
+    fn right_solves_give_small_residuals() {
+        // X·U = B.
+        let u = upper(70, 21);
+        let b = test_matrix(5, 70, 22);
+        let mut x = b.clone();
+        solve_upper_right(u.as_ref(), x.as_mut());
+        assert!(residual(&x, &u, &b) < 1e-11, "XU residual");
+        // X·L = B with unit lower L.
+        let l = unit_lower(70, 23);
+        let mut x = b.clone();
+        solve_unit_lower_right(l.as_ref(), x.as_mut());
+        assert!(residual(&x, &l, &b) < 1e-11, "XL residual");
+    }
+
+    #[test]
+    fn right_solve_matches_left_solve_of_transpose() {
+        let u = upper(33, 24);
+        let b = test_matrix(4, 33, 25);
+        let mut x_right = b.clone();
+        solve_upper_right(u.as_ref(), x_right.as_mut());
+        // Xᵀ solves Uᵀ·Xᵀ = Bᵀ.
+        let mut xt = b.transpose();
+        solve_upper_trans(u.as_ref(), xt.as_mut());
+        let x_want = xt.transpose();
+        let mut d = x_right.clone();
+        d.sub_assign(&x_want);
+        assert!(d.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_on_views_with_ld() {
+        // Solve on a sub-block of a larger buffer to exercise ld ≠ rows.
+        let l = unit_lower(6, 11);
+        let mut big = test_matrix(10, 8, 12);
+        let b = big.block(2, 1, 6, 4);
+        solve_unit_lower(l.as_ref(), big.view_mut(2, 1, 6, 4));
+        let x = big.block(2, 1, 6, 4);
+        assert!(residual(&l, &x, &b) < 1e-12);
+    }
+}

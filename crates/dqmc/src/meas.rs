@@ -1,0 +1,615 @@
+//! Physical measurements (paper §IV).
+//!
+//! Two classes, as in QUEST:
+//!
+//! * **Equal-time** — need only diagonal blocks `G_σ(ℓ, ℓ)`: densities,
+//!   double occupancy, local moment, kinetic energy, and the equal-time
+//!   spin-spin correlation vs displacement class.
+//! * **Time-dependent** — need off-diagonal blocks; the paper's example
+//!   is SPXX, the XY spin-spin correlation, an `L × d_max` table built
+//!   from *block rows and columns* of both spins' Green's functions. This
+//!   is exactly why FSI's row/column patterns matter: the `(τ, d)` entry
+//!   sums element-wise products `G↑(k,ℓ)[i,j]·G↓(ℓ,k)[j,i] + (↑↔↓)` over
+//!   all block pairs at temporal distance `τ = T(k,ℓ)` and site pairs at
+//!   spatial class `d = D(i,j)`.
+//!
+//! The element-wise loops are Level-1 work; as in the paper (§III-B, the
+//! per-thread `local_measurement_quantities`), they run under a
+//! `parallel_map` with one local accumulator table per work item, merged
+//! at the end — no concurrent writes.
+//!
+//! (The paper's printed SPXX formula is partially garbled by OCR; the
+//! reconstruction here keeps its documented structure — crossed-spin
+//! products of `(k,ℓ)` and `(ℓ,k)` block entries, normalized by the
+//! number of contributing block pairs `C(τ)` and the displacement class
+//! sizes. DESIGN.md records this substitution.)
+
+use fsi_dense::Matrix;
+use fsi_pcyclic::{temporal_distance, SquareLattice};
+use fsi_runtime::{parallel_map, Par, Schedule};
+use fsi_selinv::SelectedInverse;
+
+/// Equal-time scalar observables from one slice's Green's functions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EqualTime {
+    /// `⟨n_↑⟩` averaged over sites.
+    pub density_up: f64,
+    /// `⟨n_↓⟩` averaged over sites.
+    pub density_down: f64,
+    /// `⟨n_↑ n_↓⟩` averaged over sites.
+    pub double_occupancy: f64,
+    /// Local moment `⟨m²⟩ = ⟨n_↑⟩ + ⟨n_↓⟩ − 2⟨n_↑n_↓⟩`.
+    pub moment: f64,
+    /// Kinetic energy per site, `−t Σ_{⟨ij⟩σ}⟨c†_{iσ}c_{jσ} + h.c.⟩ / N`.
+    pub kinetic: f64,
+}
+
+/// Computes the equal-time observables from the diagonal blocks
+/// `G_↑(ℓ,ℓ)` and `G_↓(ℓ,ℓ)` (with `G_{ij} = ⟨c_i c_j†⟩`, so
+/// `⟨n_i⟩ = 1 − G_ii` and `⟨c†_i c_j⟩ = δ_ij − G_{ji}`).
+pub fn equal_time(lattice: &SquareLattice, t: f64, g_up: &Matrix, g_dn: &Matrix) -> EqualTime {
+    let n = lattice.n_sites();
+    assert_eq!(g_up.rows(), n, "G_up block size mismatch");
+    assert_eq!(g_dn.rows(), n, "G_down block size mismatch");
+    let mut up = 0.0;
+    let mut dn = 0.0;
+    let mut docc = 0.0;
+    let mut kin = 0.0;
+    for i in 0..n {
+        let nu = 1.0 - g_up[(i, i)];
+        let nd = 1.0 - g_dn[(i, i)];
+        up += nu;
+        dn += nd;
+        // Within a fixed HS configuration the two spin species are
+        // independent, so ⟨n↑n↓⟩ factorizes per configuration.
+        docc += nu * nd;
+        for j in lattice.neighbors(i) {
+            // ⟨c†_i c_j⟩_σ = −G_σ(j, i) for i ≠ j; adjacency already
+            // counts both directions.
+            kin += -t * (-(g_up[(j, i)]) - g_dn[(j, i)]);
+        }
+    }
+    let nf = n as f64;
+    EqualTime {
+        density_up: up / nf,
+        density_down: dn / nf,
+        double_occupancy: docc / nf,
+        moment: (up + dn - 2.0 * docc) / nf,
+        kinetic: kin / nf,
+    }
+}
+
+/// Equal-time z-spin correlation `⟨S^z_i S^z_j⟩` per displacement class,
+/// from one slice's diagonal blocks (Wick-decomposed per configuration).
+pub fn spin_zz_equal_time(
+    lattice: &SquareLattice,
+    g_up: &Matrix,
+    g_dn: &Matrix,
+) -> Vec<f64> {
+    let n = lattice.n_sites();
+    let classes = lattice.n_dist_classes();
+    let mut acc = vec![0.0f64; classes];
+    let counts = lattice.dist_class_counts();
+    for i in 0..n {
+        for j in 0..n {
+            let d = lattice.dist_class(i, j);
+            // ⟨SᶻᵢSᶻⱼ⟩ with Sᶻ = (n↑ − n↓)/2; Wick contraction within one
+            // HS configuration (δ terms for i = j handled by the Green's
+            // function identities).
+            let nui = 1.0 - g_up[(i, i)];
+            let ndi = 1.0 - g_dn[(i, i)];
+            let nuj = 1.0 - g_up[(j, j)];
+            let ndj = 1.0 - g_dn[(j, j)];
+            let mut v = (nui - ndi) * (nuj - ndj);
+            // Exchange terms (same spin only): ⟨c†ᵢcⱼc†ⱼcᵢ⟩ connected part.
+            v += g_up[(j, i)] * ((if i == j { 1.0 } else { 0.0 }) - g_up[(i, j)]);
+            v += g_dn[(j, i)] * ((if i == j { 1.0 } else { 0.0 }) - g_dn[(i, j)]);
+            acc[d] += 0.25 * v;
+        }
+    }
+    for (a, &cnt) in acc.iter_mut().zip(&counts) {
+        *a /= cnt as f64;
+    }
+    acc
+}
+
+/// The SPXX table: `L × d_max`, entry `(τ, d)` is the XY spin-spin
+/// correlation at temporal distance `τ` and displacement class `d`.
+#[derive(Clone, Debug)]
+pub struct SpxxTable {
+    /// Row-major `L × d_max` data.
+    data: Vec<f64>,
+    /// Contributing block-pair count `C(τ)` per row.
+    counts: Vec<usize>,
+    l: usize,
+    dmax: usize,
+}
+
+impl SpxxTable {
+    fn zeros(l: usize, dmax: usize) -> Self {
+        SpxxTable {
+            data: vec![0.0; l * dmax],
+            counts: vec![0; l],
+            l,
+            dmax,
+        }
+    }
+
+    /// Number of temporal rows `L`.
+    pub fn l(&self) -> usize {
+        self.l
+    }
+
+    /// Number of displacement classes `d_max`.
+    pub fn dmax(&self) -> usize {
+        self.dmax
+    }
+
+    /// Entry `(τ, d)`.
+    pub fn at(&self, tau: usize, d: usize) -> f64 {
+        self.data[tau * self.dmax + d]
+    }
+
+    /// The number of block pairs that contributed to row `τ` (the paper's
+    /// `C(τ)`; 0 means the row is unavailable from this selection).
+    pub fn count(&self, tau: usize) -> usize {
+        self.counts[tau]
+    }
+
+    /// Adds another table (same shape) into this one — the accumulation
+    /// across measurement sweeps.
+    pub fn merge(&mut self, other: &SpxxTable) {
+        assert_eq!((self.l, self.dmax), (other.l, other.dmax));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Scales all entries (e.g. by 1/measurements).
+    pub fn scale(&mut self, f: f64) {
+        for a in &mut self.data {
+            *a *= f;
+        }
+    }
+}
+
+/// Computes the SPXX table from selected inversions of both spins.
+///
+/// A block pair `(k, ℓ)` contributes iff all four blocks
+/// `G_σ(k,ℓ), G_σ(ℓ,k)` exist in the selections — with the paper's
+/// "b rows + b columns" pattern that yields `C(τ) ≥ b` contributions for
+/// *every* τ, which is the whole point of selecting rows and columns
+/// simultaneously.
+pub fn spxx(
+    par: Par<'_>,
+    lattice: &SquareLattice,
+    l: usize,
+    sel_up: &SelectedInverse,
+    sel_dn: &SelectedInverse,
+) -> SpxxTable {
+    let dmax = lattice.n_dist_classes();
+    // Enumerate contributing block pairs.
+    let pairs: Vec<(usize, usize)> = (0..l)
+        .flat_map(|k| (0..l).map(move |ell| (k, ell)))
+        .filter(|&(k, ell)| {
+            sel_up.contains(k, ell)
+                && sel_up.contains(ell, k)
+                && sel_dn.contains(k, ell)
+                && sel_dn.contains(ell, k)
+        })
+        .collect();
+    let class_counts = lattice.dist_class_counts();
+    // One local table per pair (paper §III-B: per-thread local
+    // measurement quantities to avoid concurrent writes), merged after.
+    let locals = parallel_map(par, pairs.len(), Schedule::Dynamic(4), |p| {
+        let (k, ell) = pairs[p];
+        let tau = temporal_distance(k, ell, l);
+        let up_kl = sel_up.get(k, ell).expect("filtered");
+        let up_lk = sel_up.get(ell, k).expect("filtered");
+        let dn_kl = sel_dn.get(k, ell).expect("filtered");
+        let dn_lk = sel_dn.get(ell, k).expect("filtered");
+        let n = lattice.n_sites();
+        let mut local = vec![0.0f64; dmax];
+        for i in 0..n {
+            for j in 0..n {
+                let d = lattice.dist_class(i, j);
+                if tau == 0 {
+                    // Equal-time Wick pairing:
+                    // ⟨S⁺ᵢS⁻ⱼ⟩ = (δ_ji − G↑(j,i))·G↓(i,j), plus ↑↔↓.
+                    let delta = if i == j { 1.0 } else { 0.0 };
+                    local[d] += (delta - up_kl[(j, i)]) * dn_kl[(i, j)]
+                        + (delta - dn_kl[(j, i)]) * up_kl[(i, j)];
+                } else {
+                    // Time-displaced pairing (τ > 0): the fermionic
+                    // reordering ⟨c†(τ)c(0)⟩ = −G(0,τ) contributes the
+                    // overall minus:
+                    // ⟨S⁺ᵢ(τ)S⁻ⱼ(0)⟩ = −G↑(ℓ,k)(j,i)·G↓(k,ℓ)(i,j).
+                    local[d] -= up_lk[(j, i)] * dn_kl[(i, j)] + dn_lk[(j, i)] * up_kl[(i, j)];
+                }
+            }
+        }
+        (tau, local)
+    });
+    let mut table = SpxxTable::zeros(l, dmax);
+    for (tau, local) in locals {
+        table.counts[tau] += 1;
+        for (d, v) in local.into_iter().enumerate() {
+            table.data[tau * dmax + d] += v;
+        }
+    }
+    // Normalize: 1/(2C(τ)) per the paper, and per site pair in the class.
+    for tau in 0..l {
+        let c = table.counts[tau];
+        if c == 0 {
+            continue;
+        }
+        for d in 0..dmax {
+            table.data[tau * dmax + d] /= 2.0 * c as f64 * class_counts[d] as f64;
+        }
+    }
+    table
+}
+
+
+
+/// Equal-time z-spin correlation resolved by the full signed
+/// displacement `r = (dx, dy) ∈ [0, nx) × [0, ny)` (not folded into
+/// minimum-image classes): `C(r) = (1/N)·Σ_i ⟨Sᶻᵢ·Sᶻ_{i+r}⟩`.
+///
+/// This is the input of the momentum-space structure factor; translation
+/// invariance (restored by the Monte Carlo average) makes the single-`i`
+/// sum sufficient.
+pub fn spin_zz_by_displacement(
+    lattice: &SquareLattice,
+    g_up: &Matrix,
+    g_dn: &Matrix,
+) -> Matrix {
+    let n = lattice.n_sites();
+    let (nx, ny) = (lattice.nx(), lattice.ny());
+    let mut c = Matrix::zeros(nx, ny);
+    for i in 0..n {
+        let (xi, yi) = lattice.coords(i);
+        for j in 0..n {
+            let (xj, yj) = lattice.coords(j);
+            let dx = (xj + nx - xi) % nx;
+            let dy = (yj + ny - yi) % ny;
+            let nui = 1.0 - g_up[(i, i)];
+            let ndi = 1.0 - g_dn[(i, i)];
+            let nuj = 1.0 - g_up[(j, j)];
+            let ndj = 1.0 - g_dn[(j, j)];
+            let mut v = (nui - ndi) * (nuj - ndj);
+            v += g_up[(j, i)] * ((if i == j { 1.0 } else { 0.0 }) - g_up[(i, j)]);
+            v += g_dn[(j, i)] * ((if i == j { 1.0 } else { 0.0 }) - g_dn[(i, j)]);
+            c[(dx, dy)] += 0.25 * v / n as f64;
+        }
+    }
+    c
+}
+
+/// Momentum-space spin structure factor over the whole Brillouin zone:
+/// `S(q) = Σ_r C(r)·cos(q·r)` for `q = 2π(m/nx, n/ny)` — a real cosine
+/// transform since `C(r) = C(−r)` up to Monte Carlo noise. Entry
+/// `(m, n)` of the result is `S(q_mn)`; `(nx/2, ny/2)` is the
+/// antiferromagnetic point `S(π, π)`.
+pub fn structure_factor_q(c_of_r: &Matrix) -> Matrix {
+    let (nx, ny) = (c_of_r.rows(), c_of_r.cols());
+    Matrix::from_fn(nx, ny, |m, nq| {
+        let qx = 2.0 * std::f64::consts::PI * m as f64 / nx as f64;
+        let qy = 2.0 * std::f64::consts::PI * nq as f64 / ny as f64;
+        let mut s = 0.0;
+        for dx in 0..nx {
+            for dy in 0..ny {
+                s += c_of_r[(dx, dy)] * (qx * dx as f64 + qy * dy as f64).cos();
+            }
+        }
+        s
+    })
+}
+
+/// Antiferromagnetic (staggered) spin structure factor
+/// `S(π,π) = (1/N)·Σ_{ij} (−1)^{i−j} ⟨Sᶻᵢ·Sᶻⱼ⟩`, computed from the
+/// per-class equal-time correlations of [`spin_zz_equal_time`].
+///
+/// On bipartite lattices with even extents the parity `(−1)^{dx+dy}` is
+/// well defined per displacement class. `S(π,π)` growing with `U` and
+/// with `β` is the hallmark of antiferromagnetic correlations in the
+/// half-filled Hubbard model — the physics the paper's measurement
+/// pipeline exists to extract.
+///
+/// # Panics
+/// Panics for odd lattice extents (staggering is ill-defined).
+pub fn staggered_structure_factor(lattice: &SquareLattice, zz_per_class: &[f64]) -> f64 {
+    assert!(
+        lattice.nx() % 2 == 0 && lattice.ny() % 2 == 0,
+        "staggered structure factor needs even extents"
+    );
+    assert_eq!(zz_per_class.len(), lattice.n_dist_classes());
+    let counts = lattice.dist_class_counts();
+    let w = lattice.nx() / 2 + 1;
+    let mut s = 0.0;
+    for (d, (&zz, &cnt)) in zz_per_class.iter().zip(&counts).enumerate() {
+        let (dx, dy) = (d % w, d / w);
+        let sign = if (dx + dy) % 2 == 0 { 1.0 } else { -1.0 };
+        s += sign * zz * cnt as f64;
+    }
+    s / lattice.n_sites() as f64
+}
+
+/// Uniform XY magnetic susceptibility from the SPXX table:
+/// `χ_xy = (Δτ/N)·Σ_τ Σ_{ij} ⟨S⁺ᵢ(τ)S⁻ⱼ(0) + h.c.⟩/2`, with the site
+/// sums reconstructed from the per-class normalization.
+///
+/// This is the canonical *time-dependent* observable the paper's
+/// rows+columns selection enables: it integrates the SPXX correlation
+/// over imaginary time (the trapezoid degenerates to a plain sum on the
+/// periodic τ torus).
+pub fn uniform_xy_susceptibility(
+    lattice: &SquareLattice,
+    table: &SpxxTable,
+    delta_tau: f64,
+) -> f64 {
+    let counts = lattice.dist_class_counts();
+    let mut total = 0.0;
+    for tau in 0..table.l() {
+        if table.count(tau) == 0 {
+            continue;
+        }
+        for (d, &cnt) in counts.iter().enumerate() {
+            total += table.at(tau, d) * cnt as f64;
+        }
+    }
+    delta_tau * total / lattice.n_sites() as f64
+}
+
+/// Streaming mean/variance accumulator for scalar observables.
+#[derive(Clone, Debug, Default)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample (Welford update).
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard error of the mean (0 for < 2 samples).
+    pub fn stderr(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        (self.m2 / (self.n - 1) as f64 / self.n as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin};
+    use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+    fn free_green(l_slices: usize) -> (SquareLattice, Matrix) {
+        // U = 0 free fermions: G is field-independent and exactly
+        // (I + e^{βtK})⁻¹.
+        let lat = SquareLattice::square(2);
+        let builder = BlockBuilder::new(
+            lat.clone(),
+            HubbardParams {
+                t: 1.0,
+                u: 0.0,
+                beta: 2.0,
+                l: l_slices,
+            },
+        );
+        let field = HsField::ones(l_slices, 4);
+        let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
+        let g = fsi_pcyclic::green::equal_time_green_explicit(Par::Seq, &pc, 0);
+        (lat, g)
+    }
+
+    #[test]
+    fn free_fermion_half_filling() {
+        let (lat, g) = free_green(8);
+        let et = equal_time(&lat, 1.0, &g, &g);
+        assert!((et.density_up - 0.5).abs() < 1e-10);
+        assert!((et.density_down - 0.5).abs() < 1e-10);
+        // Free fermions: ⟨n↑n↓⟩ = ⟨n↑⟩⟨n↓⟩ = 0.25.
+        assert!((et.double_occupancy - 0.25).abs() < 1e-10);
+        assert!((et.moment - 0.5).abs() < 1e-10);
+        // Kinetic energy is negative (hopping lowers the energy).
+        assert!(et.kinetic < 0.0, "kinetic {}", et.kinetic);
+    }
+
+    #[test]
+    fn spin_zz_self_class_equals_quarter_moment() {
+        let (lat, g) = free_green(8);
+        let zz = spin_zz_equal_time(&lat, &g, &g);
+        let et = equal_time(&lat, 1.0, &g, &g);
+        // d = 0 class: ⟨(Sᶻᵢ)²⟩ = ⟨m²⟩/4.
+        assert!(
+            (zz[0] - et.moment / 4.0).abs() < 1e-10,
+            "zz[0] = {} vs m²/4 = {}",
+            zz[0],
+            et.moment / 4.0
+        );
+    }
+
+    #[test]
+    fn structure_factor_q_consistent_with_staggered() {
+        // S(π,π) via the full-BZ cosine transform must equal the
+        // class-based staggered sum.
+        let (lat, g) = free_green(8);
+        let c_r = spin_zz_by_displacement(&lat, &g, &g);
+        let s_q = structure_factor_q(&c_r);
+        let zz = spin_zz_equal_time(&lat, &g, &g);
+        let s_stag = staggered_structure_factor(&lat, &zz);
+        let s_pipi = s_q[(lat.nx() / 2, lat.ny() / 2)];
+        assert!(
+            (s_pipi - s_stag).abs() < 1e-10,
+            "S(pi,pi): transform {s_pipi} vs staggered {s_stag}"
+        );
+        // q = 0 entry is the total-spin fluctuation: non-negative.
+        assert!(s_q[(0, 0)] > -1e-12);
+    }
+
+    #[test]
+    fn staggered_factor_detects_alternating_pattern() {
+        let lat = SquareLattice::square(4);
+        let classes = lat.n_dist_classes();
+        let w = lat.nx() / 2 + 1;
+        // A perfectly staggered correlation: zz = +1 on even-parity
+        // classes, −1 on odd ones → S(π,π) = Σ counts / N = N.
+        let zz: Vec<f64> = (0..classes)
+            .map(|d| if (d % w + d / w) % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let s = staggered_structure_factor(&lat, &zz);
+        assert!((s - lat.n_sites() as f64).abs() < 1e-12, "S = {s}");
+        // A perfectly uniform correlation has S(π,π) = 0 on a balanced
+        // lattice (equal counts of even/odd parity classes weighted by
+        // multiplicity... the alternating sum of class counts vanishes).
+        let uniform = vec![1.0; classes];
+        let s_uni = staggered_structure_factor(&lat, &uniform);
+        assert!(s_uni.abs() < 1e-9, "uniform S = {s_uni}");
+    }
+
+    #[test]
+    fn susceptibility_integrates_the_table() {
+        let lat = SquareLattice::square(2);
+        let (_, table) = spxx_from_selection(8, 4, 1);
+        let chi = uniform_xy_susceptibility(&lat, &table, 0.25);
+        assert!(chi.is_finite());
+        assert!(chi > 0.0, "physical susceptibility must be positive: {chi}");
+        // Doubling Δτ doubles χ.
+        let chi2 = uniform_xy_susceptibility(&lat, &table, 0.5);
+        assert!((chi2 - 2.0 * chi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spxx_onsite_equal_time_is_positive() {
+        // ⟨S⁺ᵢSᵢ⁻ + Sᵢ⁻Sᵢ⁺⟩(τ=0) = ⟨n↑(1−n↓) + n↓(1−n↑)⟩ ≥ 0 — the
+        // on-site, equal-time row is a density of states, not a sign
+        // fitting parameter.
+        let (_, table) = spxx_from_selection(8, 4, 1);
+        assert!(table.at(0, 0) > 0.0, "SPXX(0,0) = {}", table.at(0, 0));
+    }
+
+    #[test]
+    fn accumulator_statistics() {
+        let mut a = Accumulator::new();
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.stderr(), 0.0);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            a.push(x);
+        }
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-14);
+        // stderr = sqrt(var/n) with var = 5/3.
+        let want = (5.0 / 3.0f64 / 4.0).sqrt();
+        assert!((a.stderr() - want).abs() < 1e-14);
+    }
+
+    fn spxx_from_selection(l: usize, c: usize, q: usize) -> (SquareLattice, SpxxTable) {
+        let lat = SquareLattice::square(2);
+        let builder = BlockBuilder::new(lat.clone(), HubbardParams::paper_validation(l));
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let field = HsField::random(l, 4, &mut rng);
+        let mut sels = Vec::new();
+        for spin in Spin::BOTH {
+            let pc = hubbard_pcyclic(&builder, &field, spin);
+            let rows = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Rows, c, q));
+            let cols =
+                fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Columns, c, q));
+            let mut merged = rows.selected;
+            merged.merge(cols.selected);
+            sels.push(merged);
+        }
+        let table = spxx(Par::Seq, &lat, l, &sels[0], &sels[1]);
+        (lat, table)
+    }
+
+    #[test]
+    fn spxx_covers_every_tau_with_rows_plus_columns() {
+        let (_, table) = spxx_from_selection(8, 4, 1);
+        for tau in 0..8 {
+            assert!(
+                table.count(tau) >= 2,
+                "τ={tau}: C(τ) = {} < b",
+                table.count(tau)
+            );
+        }
+        assert_eq!(table.l(), 8);
+        assert!(table.dmax() >= 4);
+        // Values are finite.
+        for tau in 0..8 {
+            for d in 0..table.dmax() {
+                assert!(table.at(tau, d).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn spxx_parallel_matches_sequential() {
+        let lat = SquareLattice::square(2);
+        let builder = BlockBuilder::new(lat.clone(), HubbardParams::paper_validation(8));
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(78);
+        let field = HsField::random(8, 4, &mut rng);
+        let mut sels = Vec::new();
+        for spin in Spin::BOTH {
+            let pc = hubbard_pcyclic(&builder, &field, spin);
+            let rows = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Rows, 4, 0));
+            let cols =
+                fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Columns, 4, 0));
+            let mut merged = rows.selected;
+            merged.merge(cols.selected);
+            sels.push(merged);
+        }
+        let pool = fsi_runtime::ThreadPool::new(3);
+        let seq = spxx(Par::Seq, &lat, 8, &sels[0], &sels[1]);
+        let par = spxx(Par::Pool(&pool), &lat, 8, &sels[0], &sels[1]);
+        for tau in 0..8 {
+            assert_eq!(seq.count(tau), par.count(tau));
+            for d in 0..seq.dmax() {
+                assert!((seq.at(tau, d) - par.at(tau, d)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn spxx_merge_and_scale() {
+        let (_, t1) = spxx_from_selection(8, 4, 1);
+        let mut acc = t1.clone();
+        acc.merge(&t1);
+        acc.scale(0.5);
+        for tau in 0..8 {
+            for d in 0..t1.dmax() {
+                assert!((acc.at(tau, d) - t1.at(tau, d)).abs() < 1e-14);
+            }
+            assert_eq!(acc.count(tau), 2 * t1.count(tau));
+        }
+    }
+}

@@ -1,0 +1,479 @@
+//! The DQMC sweep (paper Alg. 4, inner loops).
+//!
+//! A sweep visits every `(slice ℓ, site i)` and Metropolis-tests the flip
+//! `h(ℓ, i) → −h(ℓ, i)`. The determinant ratio needs only one diagonal
+//! element of the equal-time Green's function:
+//!
+//! ```text
+//! γ_σ = e^{−2σν h(ℓ,i)} − 1
+//! R_σ = 1 + γ_σ·(1 − Ĝ_σ[i,i]),         r = R_↑·R_↓
+//! ```
+//!
+//! where `Ĝ_σ = (I + B_{ℓ−1}⋯B_ℓ)⁻¹` is the Green's function in the frame
+//! where `B_ℓ` is the *innermost* factor — the frame in which a change to
+//! `B_ℓ` is a rank-1 perturbation. On acceptance `Ĝ_σ` is updated by
+//! Sherman–Morrison in O(N²):
+//!
+//! ```text
+//! Ĝ' = Ĝ − (γ/R)·(e_i − Ĝe_i)·(e_iᵀĜ)
+//! ```
+//!
+//! Moving to the next slice is the similarity wrap
+//! `Ĝ(ℓ+1) = B_ℓ·Ĝ(ℓ)·B_ℓ⁻¹` (with the just-updated `B_ℓ`; the inverse is
+//! analytic for Hubbard blocks). Wraps and rank-1 updates accumulate
+//! round-off, so every `stabilize_every` slices the state is recomputed
+//! from scratch through the CLS + BSOFI route of [`crate::stable`] — this
+//! is precisely where FSI accelerates the sweep phase.
+
+use fsi_dense::{blas, Matrix};
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
+use fsi_selinv::Parallelism;
+use rand::Rng;
+
+use crate::stable::equal_time_green_stable;
+
+/// Tuning knobs of the sweep engine.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepConfig {
+    /// Cluster size for the stabilized recomputation (`c ≈ √L`).
+    pub c: usize,
+    /// Recompute `Ĝ` from scratch after this many wraps (QUEST-style
+    /// `nwrap`; sweeps always refresh at their start as well).
+    pub stabilize_every: usize,
+    /// Delayed-update batch size: accepted flips are accumulated as
+    /// low-rank factors and flushed into `Ĝ` with one rank-`delay` GEMM
+    /// (see [`crate::delayed`]). `1` = plain immediate rank-1 updates.
+    pub delay: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            c: 4,
+            stabilize_every: 8,
+            delay: 1,
+        }
+    }
+}
+
+/// Counters reported by each sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SweepStats {
+    /// Metropolis proposals made (`N·L` per sweep).
+    pub proposed: usize,
+    /// Proposals accepted.
+    pub accepted: usize,
+    /// Worst drift `‖Ĝ_wrapped − Ĝ_fresh‖_max` observed at stabilization
+    /// points (0 when no stabilization happened mid-sweep).
+    pub max_drift: f64,
+}
+
+impl SweepStats {
+    /// Acceptance ratio in `[0, 1]`.
+    pub fn acceptance(&self) -> f64 {
+        if self.proposed == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.proposed as f64
+        }
+    }
+}
+
+/// The sweep engine: owns the HS field and the per-spin equal-time
+/// Green's functions of the current slice frame.
+pub struct Sweeper<'a> {
+    builder: &'a BlockBuilder,
+    field: HsField,
+    cfg: SweepConfig,
+    /// `Ĝ_σ` for the slice currently being updated; index 0 = up.
+    g: [Matrix; 2],
+    /// Monte Carlo weight sign tracked across accepted flips.
+    sign: f64,
+    wraps_since_stab: usize,
+}
+
+impl<'a> Sweeper<'a> {
+    /// Creates a sweeper positioned at slice 0 (Green's functions
+    /// computed from scratch).
+    pub fn new(builder: &'a BlockBuilder, field: HsField, cfg: SweepConfig) -> Self {
+        assert_eq!(field.slices(), builder.params().l, "field/params L mismatch");
+        assert_eq!(field.sites(), builder.lattice().n_sites(), "field/lattice N mismatch");
+        let n = field.sites();
+        let mut s = Sweeper {
+            builder,
+            field,
+            cfg,
+            g: [Matrix::zeros(n, n), Matrix::zeros(n, n)],
+            sign: 1.0,
+            wraps_since_stab: 0,
+        };
+        s.refresh(0, Parallelism::Serial);
+        s
+    }
+
+    /// The current HS field.
+    pub fn field(&self) -> &HsField {
+        &self.field
+    }
+
+    /// The tracked Monte Carlo sign.
+    pub fn sign(&self) -> f64 {
+        self.sign
+    }
+
+    /// The `Ĝ_σ` of the current frame (tests / measurements at slice
+    /// boundaries).
+    pub fn green(&self, spin: Spin) -> &Matrix {
+        &self.g[spin_idx(spin)]
+    }
+
+    /// Recomputes both spins' `Ĝ` from scratch for updating `slice`.
+    ///
+    /// `Ĝ(slice) = G(slice − 1)`: the cyclic product ends with
+    /// `B_slice` as its innermost factor.
+    pub fn refresh(&mut self, slice: usize, par: Parallelism<'_>) {
+        let l = self.builder.params().l;
+        let k = (slice + l - 1) % l;
+        let (outer, inner) = par.split();
+        for spin in Spin::BOTH {
+            let pc = hubbard_pcyclic(self.builder, &self.field, spin);
+            self.g[spin_idx(spin)] = equal_time_green_stable(outer, inner, &pc, k, self.cfg.c);
+        }
+        self.wraps_since_stab = 0;
+    }
+
+    /// The Metropolis ratio factors `(R_↑, R_↓)` for flipping
+    /// `h(slice, i)` in the current frame.
+    pub fn ratio(&self, slice: usize, i: usize) -> (f64, f64) {
+        let nu = self.builder.nu();
+        let h = self.field.get(slice, i);
+        let mut r = [0.0f64; 2];
+        for spin in Spin::BOTH {
+            let gamma = (-2.0 * spin.sign() * nu * h).exp() - 1.0;
+            let gii = self.g[spin_idx(spin)][(i, i)];
+            r[spin_idx(spin)] = 1.0 + gamma * (1.0 - gii);
+        }
+        (r[0], r[1])
+    }
+
+    /// Applies the accepted flip at `(slice, i)`: Sherman–Morrison update
+    /// of both `Ĝ_σ`, field flip, sign bookkeeping.
+    fn apply_flip(&mut self, slice: usize, i: usize, r_up: f64, r_dn: f64) {
+        let nu = self.builder.nu();
+        let h = self.field.get(slice, i);
+        let n = self.field.sites();
+        for (spin, r) in Spin::BOTH.into_iter().zip([r_up, r_dn]) {
+            let gamma = (-2.0 * spin.sign() * nu * h).exp() - 1.0;
+            let g = &mut self.g[spin_idx(spin)];
+            // u = e_i − G e_i (column), v = eᵢᵀ G (row).
+            let mut u = vec![0.0; n];
+            let mut v = vec![0.0; n];
+            for j in 0..n {
+                u[j] = -g[(j, i)];
+                v[j] = g[(i, j)];
+            }
+            u[i] += 1.0;
+            blas::ger(-gamma / r, &u, &v, g.as_mut());
+        }
+        self.field.flip(slice, i);
+        self.sign *= (r_up * r_dn).signum();
+    }
+
+    /// Wraps both `Ĝ_σ` from the slice-`slice` frame to slice `slice+1`:
+    /// `Ĝ ← B_slice·Ĝ·B_slice⁻¹` with the current (post-update) field.
+    fn wrap_to_next(&mut self, slice: usize) {
+        for spin in Spin::BOTH {
+            let b = self.builder.block(&self.field, slice, spin);
+            let binv = self.builder.block_inverse(&self.field, slice, spin);
+            let idx = spin_idx(spin);
+            let tmp = fsi_dense::mul(&b, &self.g[idx]);
+            self.g[idx] = fsi_dense::mul(&tmp, &binv);
+        }
+        self.wraps_since_stab += 1;
+    }
+
+    /// Runs one full sweep over all `(ℓ, i)` (paper Alg. 4's "DQMC
+    /// sweep"), refreshing the state at the start and stabilizing every
+    /// `stabilize_every` wraps. Returns acceptance statistics.
+    ///
+    /// With `cfg.delay > 1`, accepted flips within a slice are batched
+    /// through [`crate::delayed::DelayedUpdates`] and applied as rank-`k`
+    /// GEMMs (identical trajectories up to round-off; tested).
+    pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R, par: Parallelism<'_>) -> SweepStats {
+        let l = self.builder.params().l;
+        let n = self.field.sites();
+        let nu = self.builder.nu();
+        let (_, inner) = par.split();
+        let mut stats = SweepStats::default();
+        self.refresh(0, par);
+        for slice in 0..l {
+            if self.cfg.delay > 1 {
+                // Delayed path: one accumulator per spin.
+                let mut accs = [
+                    crate::delayed::DelayedUpdates::new(n, self.cfg.delay),
+                    crate::delayed::DelayedUpdates::new(n, self.cfg.delay),
+                ];
+                for i in 0..n {
+                    let h = self.field.get(slice, i);
+                    let gamma_up = (-2.0 * nu * h).exp() - 1.0;
+                    let gamma_dn = (2.0 * nu * h).exp() - 1.0;
+                    let r_up = 1.0 + gamma_up * (1.0 - accs[0].diag(&self.g[0], i));
+                    let r_dn = 1.0 + gamma_dn * (1.0 - accs[1].diag(&self.g[1], i));
+                    let p = r_up * r_dn;
+                    stats.proposed += 1;
+                    if rng.gen::<f64>() < p.abs().min(1.0) {
+                        if accs[0].is_full() {
+                            accs[0].flush(inner, &mut self.g[0]);
+                            accs[1].flush(inner, &mut self.g[1]);
+                        }
+                        accs[0].push(&self.g[0], i, gamma_up, r_up);
+                        accs[1].push(&self.g[1], i, gamma_dn, r_dn);
+                        self.field.flip(slice, i);
+                        self.sign *= p.signum();
+                        stats.accepted += 1;
+                    }
+                }
+                accs[0].flush(inner, &mut self.g[0]);
+                accs[1].flush(inner, &mut self.g[1]);
+            } else {
+                for i in 0..n {
+                    let (r_up, r_dn) = self.ratio(slice, i);
+                    let p = r_up * r_dn;
+                    stats.proposed += 1;
+                    if rng.gen::<f64>() < p.abs().min(1.0) {
+                        self.apply_flip(slice, i, r_up, r_dn);
+                        stats.accepted += 1;
+                    }
+                }
+            }
+            if slice + 1 < l {
+                if self.wraps_since_stab + 1 >= self.cfg.stabilize_every {
+                    // Measure the drift the wraps accumulated, then
+                    // replace with the fresh state.
+                    self.wrap_to_next(slice);
+                    let wrapped = self.g.clone();
+                    self.refresh(slice + 1, par);
+                    for idx in 0..2 {
+                        let mut d = wrapped[idx].clone();
+                        d.sub_assign(&self.g[idx]);
+                        stats.max_drift = stats.max_drift.max(d.max_abs());
+                    }
+                } else {
+                    self.wrap_to_next(slice);
+                }
+            }
+        }
+        stats
+    }
+}
+
+fn spin_idx(spin: Spin) -> usize {
+    match spin {
+        Spin::Up => 0,
+        Spin::Down => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_dense::{getrf, rel_error};
+    use fsi_pcyclic::{HubbardParams, SquareLattice};
+    use fsi_runtime::Par;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn small_builder(l: usize) -> BlockBuilder {
+        BlockBuilder::new(
+            SquareLattice::square(2),
+            HubbardParams {
+                t: 1.0,
+                u: 4.0,
+                beta: 2.0,
+                l,
+            },
+        )
+    }
+
+    /// Brute-force determinant of `W(k) = I + P(k)` for the current field.
+    fn log_det_w(builder: &BlockBuilder, field: &HsField, spin: Spin, k: usize) -> (f64, f64) {
+        let pc = hubbard_pcyclic(builder, field, spin);
+        let w = fsi_pcyclic::green::w_matrix(Par::Seq, &pc, k);
+        getrf(w).expect("nonsingular").sign_log_det()
+    }
+
+    #[test]
+    fn metropolis_ratio_matches_brute_force_determinants() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let field = HsField::random(8, 4, &mut rng);
+        for slice in [0usize, 2, 7] {
+            let sweeper = {
+                let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+                s.refresh(slice, Parallelism::Serial);
+                s
+            };
+            for i in 0..4 {
+                let (r_up, r_dn) = sweeper.ratio(slice, i);
+                // Brute force: det W'(k) / det W(k) at k = slice − 1,
+                // with the flipped field.
+                let k = (slice + 8 - 1) % 8;
+                let mut flipped = field.clone();
+                flipped.flip(slice, i);
+                for (spin, r) in Spin::BOTH.into_iter().zip([r_up, r_dn]) {
+                    let (s0, ld0) = log_det_w(&builder, &field, spin, k);
+                    let (s1, ld1) = log_det_w(&builder, &flipped, spin, k);
+                    let want = s1 * s0 * (ld1 - ld0).exp();
+                    assert!(
+                        (r - want).abs() < 1e-8 * want.abs().max(1.0),
+                        "slice {slice} site {i} {spin:?}: formula {r} vs brute {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sherman_morrison_matches_recompute() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let field = HsField::random(8, 4, &mut rng);
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        // Force-accept a few flips at slice 0, then compare the updated G
+        // against a from-scratch recomputation.
+        for i in [0usize, 2, 3] {
+            let (r_up, r_dn) = sweeper.ratio(0, i);
+            sweeper.apply_flip(0, i, r_up, r_dn);
+        }
+        let updated = sweeper.g.clone();
+        sweeper.refresh(0, Parallelism::Serial);
+        for idx in 0..2 {
+            let err = rel_error(&updated[idx], &sweeper.g[idx]);
+            assert!(err < 1e-9, "spin {idx}: SM drift {err}");
+        }
+    }
+
+    #[test]
+    fn wrap_matches_fresh_green() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let field = HsField::random(8, 4, &mut rng);
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        // Ĝ(0) → wrap → should equal fresh Ĝ(1).
+        sweeper.wrap_to_next(0);
+        let wrapped = sweeper.g.clone();
+        sweeper.refresh(1, Parallelism::Serial);
+        for idx in 0..2 {
+            let err = rel_error(&wrapped[idx], &sweeper.g[idx]);
+            assert!(err < 1e-9, "spin {idx}: wrap err {err}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_given_seed() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let field = HsField::random(8, 4, &mut rng);
+        let run = |seed: u64| {
+            let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let stats = s.sweep(&mut rng, Parallelism::Serial);
+            (stats, s.field().to_flat())
+        };
+        let (s1, f1) = run(99);
+        let (s2, f2) = run(99);
+        assert_eq!(s1.accepted, s2.accepted);
+        assert_eq!(f1, f2);
+        // A different seed gives a different trajectory (overwhelmingly).
+        let (_, f3) = run(100);
+        assert_ne!(f1, f3);
+    }
+
+    #[test]
+    fn sweep_proposes_every_site_and_field_stays_pm1() {
+        let builder = small_builder(4);
+        let field = HsField::ones(4, 4);
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let mut rng = ChaCha8Rng::seed_from_u64(14);
+        let stats = sweeper.sweep(&mut rng, Parallelism::Serial);
+        assert_eq!(stats.proposed, 4 * 4);
+        assert!(stats.accepted <= stats.proposed);
+        assert!((0.0..=1.0).contains(&stats.acceptance()));
+        assert!(sweeper.field().to_flat().iter().all(|&x| x == 1 || x == -1));
+        assert!(sweeper.sign().abs() == 1.0);
+    }
+
+    #[test]
+    fn stabilization_drift_is_small_for_short_chains() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(15);
+        let field = HsField::random(8, 4, &mut rng);
+        let mut sweeper = Sweeper::new(
+            &builder,
+            field,
+            SweepConfig {
+                c: 4,
+                stabilize_every: 2,
+                ..SweepConfig::default()
+            },
+        );
+        let stats = sweeper.sweep(&mut rng, Parallelism::Serial);
+        assert!(
+            stats.max_drift < 1e-8,
+            "wrap drift should be tiny at β=2: {}",
+            stats.max_drift
+        );
+    }
+
+    #[test]
+    fn delayed_sweep_matches_immediate_sweep() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(16);
+        let field = HsField::random(8, 4, &mut rng);
+        let run = |delay: usize| {
+            let cfg = SweepConfig {
+                delay,
+                ..SweepConfig::default()
+            };
+            let mut s = Sweeper::new(&builder, field.clone(), cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(500);
+            let stats = s.sweep(&mut rng, Parallelism::Serial);
+            (stats.accepted, s.field().to_flat(), s.green(Spin::Up).clone())
+        };
+        let (acc1, field1, g1) = run(1);
+        for delay in [2usize, 4, 16] {
+            let (acc_d, field_d, g_d) = run(delay);
+            assert_eq!(acc1, acc_d, "delay={delay}: acceptance count");
+            assert_eq!(field1, field_d, "delay={delay}: trajectory");
+            assert!(
+                rel_error(&g1, &g_d) < 1e-9,
+                "delay={delay}: G drift {}",
+                rel_error(&g1, &g_d)
+            );
+        }
+    }
+
+    #[test]
+    fn half_filling_free_fermions_density() {
+        // U = 0: Ĝ is field-independent; ⟨n⟩ = 1 − tr G / N = 1/2 exactly
+        // at half filling by particle-hole symmetry of e^{tΔτK}.
+        let builder = BlockBuilder::new(
+            SquareLattice::square(2),
+            HubbardParams {
+                t: 1.0,
+                u: 0.0,
+                beta: 2.0,
+                l: 8,
+            },
+        );
+        let field = HsField::ones(8, 4);
+        let sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let g = sweeper.green(Spin::Up);
+        let trace: f64 = (0..4).map(|i| g[(i, i)]).sum();
+        let density = 1.0 - trace / 4.0;
+        assert!(
+            (density - 0.5).abs() < 1e-10,
+            "free-fermion half filling: {density}"
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! Periodic rectangular lattices — QUEST's default geometry.
+//!
+//! A [`SquareLattice`] is an `nx × ny` grid with periodic boundary
+//! conditions. It supplies the three geometric ingredients of the paper:
+//!
+//! * the adjacency (hopping) matrix `K` entering the Hubbard block
+//!   `B_ℓ = e^{tΔτK}·e^{σνV_ℓ}`;
+//! * the spatial distance map `D(i, j)` that buckets site pairs into
+//!   displacement classes for space-resolved measurements such as SPXX
+//!   (the paper's `d` index with `d_max ~ O(N)`);
+//! * the temporal distance map `T(k, ℓ)` between time-slice block indices
+//!   (implemented here too, as it is pure index arithmetic).
+
+use fsi_dense::Matrix;
+
+/// An `nx × ny` periodic rectangular lattice. Site `i` has coordinates
+/// `(i % nx, i / nx)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SquareLattice {
+    nx: usize,
+    ny: usize,
+}
+
+impl SquareLattice {
+    /// Creates an `nx × ny` periodic lattice.
+    ///
+    /// # Panics
+    /// Panics if either side is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "lattice sides must be positive");
+        SquareLattice { nx, ny }
+    }
+
+    /// A square `l × l` lattice.
+    pub fn square(l: usize) -> Self {
+        Self::new(l, l)
+    }
+
+    /// Number of sites `N = nx·ny`.
+    pub fn n_sites(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Horizontal extent.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Vertical extent.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Site index of coordinates `(x, y)` (taken modulo the extents).
+    pub fn site(&self, x: usize, y: usize) -> usize {
+        (x % self.nx) + (y % self.ny) * self.nx
+    }
+
+    /// Coordinates of site `i`.
+    pub fn coords(&self, i: usize) -> (usize, usize) {
+        debug_assert!(i < self.n_sites());
+        (i % self.nx, i / self.nx)
+    }
+
+    /// The (up to) four nearest neighbours of site `i` under periodic
+    /// boundaries, deduplicated for degenerate extents (`nx` or `ny` ≤ 2).
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let (x, y) = self.coords(i);
+        let candidates = [
+            self.site(x + 1, y),
+            self.site(x + self.nx - 1, y),
+            self.site(x, y + 1),
+            self.site(x, y + self.ny - 1),
+        ];
+        let mut out = Vec::with_capacity(4);
+        for c in candidates {
+            if c != i && !out.contains(&c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+
+    /// The `N × N` adjacency matrix `K` (`k_ij = 1` when `i`, `j` are
+    /// nearest neighbours). Symmetric by construction.
+    pub fn adjacency(&self) -> Matrix {
+        let n = self.n_sites();
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in self.neighbors(i) {
+                k[(i, j)] = 1.0;
+            }
+        }
+        k
+    }
+
+    /// Minimum-image displacement of site `j` relative to site `i`, folded
+    /// into `0 ≤ dx ≤ nx/2`, `0 ≤ dy ≤ ny/2`.
+    pub fn displacement(&self, i: usize, j: usize) -> (usize, usize) {
+        let (xi, yi) = self.coords(i);
+        let (xj, yj) = self.coords(j);
+        let dx = (xj + self.nx - xi) % self.nx;
+        let dy = (yj + self.ny - yi) % self.ny;
+        (dx.min(self.nx - dx), dy.min(self.ny - dy))
+    }
+
+    /// Number of distinct displacement classes `d_max`.
+    pub fn n_dist_classes(&self) -> usize {
+        (self.nx / 2 + 1) * (self.ny / 2 + 1)
+    }
+
+    /// The spatial distance map `D(i, j)`: index of the displacement class
+    /// of the pair, in `0..n_dist_classes()`.
+    pub fn dist_class(&self, i: usize, j: usize) -> usize {
+        let (dx, dy) = self.displacement(i, j);
+        dx + dy * (self.nx / 2 + 1)
+    }
+
+    /// Number of site pairs `(i, j)` in each displacement class (the
+    /// normalization of space-resolved correlation functions).
+    pub fn dist_class_counts(&self) -> Vec<usize> {
+        let n = self.n_sites();
+        let mut counts = vec![0usize; self.n_dist_classes()];
+        for i in 0..n {
+            for j in 0..n {
+                counts[self.dist_class(i, j)] += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// The temporal distance map `T(k, ℓ)` of the paper (0-based block
+/// indices): `k − ℓ` if `k ≥ ℓ`, else `k − ℓ + L`, giving `τ ∈ 0..L`.
+pub fn temporal_distance(k: usize, l: usize, slices: usize) -> usize {
+    debug_assert!(k < slices && l < slices);
+    (k + slices - l) % slices
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_geometry() {
+        let lat = SquareLattice::new(4, 3);
+        assert_eq!(lat.n_sites(), 12);
+        assert_eq!(lat.site(0, 0), 0);
+        assert_eq!(lat.site(3, 2), 11);
+        assert_eq!(lat.site(4, 3), 0, "wraps periodically");
+        assert_eq!(lat.coords(11), (3, 2));
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_degree_4() {
+        let lat = SquareLattice::square(4);
+        for i in 0..lat.n_sites() {
+            let ns = lat.neighbors(i);
+            assert_eq!(ns.len(), 4, "site {i}");
+            for &j in &ns {
+                assert!(lat.neighbors(j).contains(&i), "{i} <-> {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_extents_deduplicate() {
+        // A 2×2 lattice: +x and −x neighbours coincide.
+        let lat = SquareLattice::square(2);
+        for i in 0..4 {
+            let ns = lat.neighbors(i);
+            assert_eq!(ns.len(), 2, "site {i}: {ns:?}");
+        }
+        // A 1×4 chain: only vertical neighbours, which coincide pairwise at
+        // distance 1.
+        let lat = SquareLattice::new(1, 4);
+        assert_eq!(lat.neighbors(0).len(), 2);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_with_correct_row_sums() {
+        let lat = SquareLattice::new(4, 4);
+        let k = lat.adjacency();
+        for i in 0..16 {
+            let mut row = 0.0;
+            for j in 0..16 {
+                assert_eq!(k[(i, j)], k[(j, i)]);
+                row += k[(i, j)];
+            }
+            assert_eq!(row, 4.0);
+        }
+        assert_eq!(k[(0, 0)], 0.0, "no self loops");
+    }
+
+    #[test]
+    fn displacement_minimum_image() {
+        let lat = SquareLattice::new(6, 4);
+        // Distance from 0 to its +x neighbour.
+        assert_eq!(lat.displacement(0, lat.site(1, 0)), (1, 0));
+        // Wrapping: site at x=5 is distance 1 from x=0.
+        assert_eq!(lat.displacement(0, lat.site(5, 0)), (1, 0));
+        // Farthest point.
+        assert_eq!(lat.displacement(0, lat.site(3, 2)), (3, 2));
+        // Symmetry.
+        for i in 0..lat.n_sites() {
+            for j in 0..lat.n_sites() {
+                assert_eq!(lat.displacement(i, j), lat.displacement(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn dist_classes_partition_all_pairs() {
+        let lat = SquareLattice::new(4, 4);
+        let counts = lat.dist_class_counts();
+        assert_eq!(counts.len(), lat.n_dist_classes());
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, lat.n_sites() * lat.n_sites());
+        // Class 0 is the self class: exactly N pairs.
+        assert_eq!(counts[0], lat.n_sites());
+        // Translation invariance: every class is populated uniformly,
+        // i.e. a multiple of N.
+        for (d, &cnt) in counts.iter().enumerate() {
+            assert!(cnt % lat.n_sites() == 0, "class {d}: {cnt}");
+            assert!(cnt > 0, "class {d} must be populated");
+        }
+    }
+
+    #[test]
+    fn temporal_distance_matches_paper() {
+        let l = 10;
+        assert_eq!(temporal_distance(5, 3, l), 2); // k > ℓ → k − ℓ
+        assert_eq!(temporal_distance(3, 5, l), 8); // k < ℓ → k − ℓ + L
+        assert_eq!(temporal_distance(4, 4, l), 0);
+        // Every τ value has exactly L pairs (k, ℓ).
+        for tau in 0..l {
+            let count = (0..l)
+                .flat_map(|k| (0..l).map(move |ell| (k, ell)))
+                .filter(|&(k, ell)| temporal_distance(k, ell, l) == tau)
+                .count();
+            assert_eq!(count, l);
+        }
+    }
+}

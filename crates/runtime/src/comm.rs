@@ -1,0 +1,509 @@
+//! In-process message-passing ranks — the MPI analog.
+//!
+//! The paper's multi-matrix driver (Alg. 3) distributes Hubbard matrices over
+//! MPI processes with `MPI_Scatter` and aggregates measurement quantities
+//! with `MPI_Reduce`. This module reproduces that programming model inside a
+//! single process: [`run`] spawns one OS thread per rank, each receiving a
+//! [`Rank`] handle with point-to-point `send`/`recv` and the collectives the
+//! paper uses.
+//!
+//! Messages are typed (`T: Send + 'static`) and matched on `(source, tag)`,
+//! like MPI's `(source, tag)` envelope matching. Out-of-order arrivals are
+//! parked in a per-rank pending queue, so a rank may interleave traffic from
+//! several peers without deadlock, as long as every send is eventually
+//! matched by a recv with the same envelope and type.
+//!
+//! This substitution (documented in DESIGN.md) preserves the communication
+//! *pattern* of the paper's experiments — ownership of disjoint matrix
+//! subsets, root-scatter of Hubbard-Stratonovich fields, reduction of local
+//! measurement sums — while running on one machine.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+/// An envelope-addressed message: `(source, tag, payload)`.
+type Packet = (usize, u64, Box<dyn Any + Send>);
+
+/// Per-rank communication endpoint handed to the rank body by [`run`].
+pub struct Rank {
+    id: usize,
+    size: usize,
+    /// Senders to every rank's inbox (including our own, enabling self-sends
+    /// used by uniform collective code at the root).
+    outboxes: Vec<Sender<Packet>>,
+    inbox: Receiver<Packet>,
+    /// Arrived-but-unmatched packets.
+    pending: Mutex<VecDeque<Packet>>,
+}
+
+impl Rank {
+    /// This rank's id in `0..size`.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Total number of ranks in the universe.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this rank is the conventional root (rank 0).
+    pub fn is_root(&self) -> bool {
+        self.id == 0
+    }
+
+    /// Sends `value` to rank `dest` with the given `tag`. Never blocks
+    /// (buffered, like an `MPI_Isend` that is always completed).
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the destination has exited.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        self.outboxes[dest]
+            .send((self.id, tag, Box::new(value)))
+            .expect("destination rank has exited");
+    }
+
+    /// Blocks until a message from `source` with `tag` and payload type `T`
+    /// arrives, and returns it.
+    ///
+    /// # Panics
+    /// Panics if a matching envelope arrives whose payload is not a `T`
+    /// (a type error in the program, analogous to an MPI datatype mismatch).
+    pub fn recv<T: Send + 'static>(&self, source: usize, tag: u64) -> T {
+        // First scan the pending queue for an earlier arrival.
+        {
+            let mut pending = self.pending.lock().expect("pending queue poisoned");
+            if let Some(pos) = pending
+                .iter()
+                .position(|(s, t, _)| *s == source && *t == tag)
+            {
+                let (_, _, payload) = pending.remove(pos).expect("position just found");
+                return downcast::<T>(payload, source, tag);
+            }
+        }
+        loop {
+            let (s, t, payload) = self
+                .inbox
+                .recv()
+                .expect("all senders dropped while receiving");
+            if s == source && t == tag {
+                return downcast::<T>(payload, source, tag);
+            }
+            self.pending
+                .lock()
+                .expect("pending queue poisoned")
+                .push_back((s, t, payload));
+        }
+    }
+
+    /// Root scatters one element of `items` to each rank (root keeps
+    /// `items[0]`); non-roots receive theirs. Mirrors `MPI_Scatter`.
+    ///
+    /// # Panics
+    /// On the root, panics unless `items.len() == self.size()`.
+    pub fn scatter<T: Send + 'static>(&self, items: Option<Vec<T>>, tag: u64) -> T {
+        if self.is_root() {
+            let items = items.expect("root must supply the items to scatter");
+            assert_eq!(items.len(), self.size, "scatter needs one item per rank");
+            let mut mine = None;
+            for (dest, item) in items.into_iter().enumerate() {
+                if dest == self.id {
+                    mine = Some(item);
+                } else {
+                    self.send(dest, tag, item);
+                }
+            }
+            mine.expect("root item present")
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// Gathers one value from each rank at the root; returns `Some(values)`
+    /// in rank order at the root and `None` elsewhere. Mirrors `MPI_Gather`.
+    pub fn gather<T: Send + 'static>(&self, value: T, tag: u64) -> Option<Vec<T>> {
+        if self.is_root() {
+            // The root is rank 0, so its own contribution leads the vector.
+            let mut out = Vec::with_capacity(self.size);
+            out.push(value);
+            for src in 1..self.size {
+                out.push(self.recv(src, tag));
+            }
+            Some(out)
+        } else {
+            self.send(0, tag, value);
+            None
+        }
+    }
+
+    /// Broadcasts the root's value to all ranks. Mirrors `MPI_Bcast`.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, value: Option<T>, tag: u64) -> T {
+        if self.is_root() {
+            let value = value.expect("root must supply the broadcast value");
+            for dest in 1..self.size {
+                self.send(dest, tag, value.clone());
+            }
+            value
+        } else {
+            self.recv(0, tag)
+        }
+    }
+
+    /// Reduces one value per rank at the root with the associative `op`;
+    /// returns `Some(total)` at the root, `None` elsewhere. Mirrors
+    /// `MPI_Reduce`. Reduction is applied in rank order, so `op` need not be
+    /// commutative.
+    pub fn reduce<T, F>(&self, value: T, tag: u64, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.gather(value, tag).map(|vals| {
+            let mut it = vals.into_iter();
+            let first = it.next().expect("universe has at least one rank");
+            it.fold(first, |acc, v| op(acc, v))
+        })
+    }
+
+    /// Reduce followed by broadcast: every rank gets the total. Mirrors
+    /// `MPI_Allreduce`.
+    pub fn allreduce<T, F>(&self, value: T, tag: u64, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let total = self.reduce(value, tag, op);
+        self.broadcast(total, tag ^ ALLREDUCE_PHASE2)
+    }
+
+
+    /// Binomial-tree broadcast: `O(log₂ size)` rounds instead of the flat
+    /// broadcast's `O(size)` sends from the root — the algorithm real MPI
+    /// implementations use at scale. Semantically identical to
+    /// [`Rank::broadcast`].
+    pub fn broadcast_tree<T: Clone + Send + 'static>(&self, value: Option<T>, tag: u64) -> T {
+        let size = self.size;
+        let me = self.id;
+        let mut have: Option<T> = if me == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        // Round r: ranks with id < 2^r forward to id + 2^r.
+        let mut span = 1usize;
+        while span < size {
+            if me < span {
+                let dest = me + span;
+                if dest < size {
+                    let v = have.as_ref().expect("sender holds the value").clone();
+                    self.send(dest, tag ^ TREE_PHASE ^ span as u64, v);
+                }
+            } else if me < 2 * span && have.is_none() {
+                let src = me - span;
+                have = Some(self.recv(src, tag ^ TREE_PHASE ^ span as u64));
+            }
+            span *= 2;
+        }
+        have.expect("every rank is reached by the tree")
+    }
+
+    /// Binomial-tree reduction to the root: `O(log₂ size)` rounds.
+    /// `op` must be associative; it is applied in a fixed tree order, so
+    /// results are deterministic (and equal to the flat reduction for
+    /// commutative-associative ops like `+` on integers).
+    pub fn reduce_tree<T, F>(&self, value: T, tag: u64, op: F) -> Option<T>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let size = self.size;
+        let me = self.id;
+        let mut acc = Some(value);
+        // Round r: ranks with 2^r bit set send to (id − 2^r); others
+        // receive and fold.
+        let mut span = 1usize;
+        while span < size {
+            if me & span != 0 {
+                // Sender: ship the accumulator and exit.
+                let v = acc.take().expect("accumulator present before sending");
+                self.send(me - span, tag ^ TREE_PHASE ^ span as u64, v);
+                break;
+            } else if me + span < size {
+                let v: T = self.recv(me + span, tag ^ TREE_PHASE ^ span as u64);
+                let cur = acc.take().expect("accumulator present");
+                acc = Some(op(cur, v));
+            }
+            span *= 2;
+        }
+        if me == 0 {
+            acc
+        } else {
+            None
+        }
+    }
+
+    /// Blocks until every rank has entered the barrier. Mirrors
+    /// `MPI_Barrier`. Implemented as gather + broadcast of unit.
+    pub fn barrier(&self, tag: u64) {
+        let _ = self.gather((), tag);
+        let _ = self.broadcast(Some(()), tag ^ BARRIER_PHASE2);
+    }
+}
+
+const ALLREDUCE_PHASE2: u64 = 0x8000_0000_0000_0001;
+const TREE_PHASE: u64 = 0x4000_0000_0000_0000;
+const BARRIER_PHASE2: u64 = 0x8000_0000_0000_0002;
+
+fn downcast<T: 'static>(payload: Box<dyn Any + Send>, source: usize, tag: u64) -> T {
+    *payload.downcast::<T>().unwrap_or_else(|_| {
+        panic!(
+            "type mismatch receiving from rank {source} tag {tag}: expected {}",
+            std::any::type_name::<T>()
+        )
+    })
+}
+
+/// Spawns `size` ranks, runs `body` on each with its [`Rank`] handle, and
+/// returns the per-rank results in rank order — the `MPI_Init` /
+/// `MPI_Finalize` bracket of the paper's Alg. 3.
+///
+/// Rank 0 runs on the calling thread so single-rank runs have zero spawn
+/// overhead and panics surface naturally.
+///
+/// # Panics
+/// Panics if `size == 0` or if any rank body panics.
+pub fn run<R, F>(size: usize, body: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&Rank) -> R + Sync,
+{
+    assert!(size > 0, "universe needs at least one rank");
+    let mut txs = Vec::with_capacity(size);
+    let mut rxs = Vec::with_capacity(size);
+    for _ in 0..size {
+        let (tx, rx) = unbounded::<Packet>();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let ranks: Vec<Rank> = rxs
+        .into_iter()
+        .enumerate()
+        .map(|(id, inbox)| Rank {
+            id,
+            size,
+            outboxes: txs.clone(),
+            inbox,
+            pending: Mutex::new(VecDeque::new()),
+        })
+        .collect();
+    drop(txs);
+
+    let body = &body;
+    let mut iter = ranks.into_iter();
+    let rank0 = iter.next().expect("size > 0");
+    std::thread::scope(|s| {
+        let handles: Vec<_> = iter
+            .map(|rank| {
+                s.spawn(move || {
+                    let r = body(&rank);
+                    (rank.id, r)
+                })
+            })
+            .collect();
+        let r0 = body(&rank0);
+        let mut results: Vec<Option<R>> = (0..size).map(|_| None).collect();
+        results[0] = Some(r0);
+        for h in handles {
+            let (id, r) = h.join().expect("a rank panicked");
+            results[id] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every rank produced a result"))
+            .collect()
+    })
+}
+
+/// Splits `n` work items across `size` ranks as evenly as possible and
+/// returns the half-open range owned by `rank` — the block distribution the
+/// paper uses for `m_per_MPI = m / num_MPI_process`.
+pub fn block_range(n: usize, size: usize, rank: usize) -> std::ops::Range<usize> {
+    assert!(rank < size);
+    let base = n / size;
+    let extra = n % size;
+    let lo = rank * base + rank.min(extra);
+    let len = base + usize::from(rank < extra);
+    lo..lo + len
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let results = run(2, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+                rank.recv::<f64>(1, 8)
+            } else {
+                let v: Vec<f64> = rank.recv(0, 7);
+                let s: f64 = v.iter().sum();
+                rank.send(0, 8, s);
+                s
+            }
+        });
+        assert_eq!(results, vec![6.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_order_tags_are_buffered() {
+        let results = run(2, |rank| {
+            if rank.id() == 0 {
+                rank.send(1, 1, 10u32);
+                rank.send(1, 2, 20u32);
+                0
+            } else {
+                // Receive in the reverse order of sending.
+                let b: u32 = rank.recv(0, 2);
+                let a: u32 = rank.recv(0, 1);
+                (b - a) as i32
+            }
+        });
+        assert_eq!(results[1], 10);
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip() {
+        let results = run(4, |rank| {
+            let mine: usize = rank.scatter(
+                rank.is_root().then(|| vec![100, 101, 102, 103]),
+                3,
+            );
+            assert_eq!(mine, 100 + rank.id());
+            rank.gather(mine * 2, 4)
+        });
+        assert_eq!(results[0], Some(vec![200, 202, 204, 206]));
+        assert!(results[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn reduce_sums_in_rank_order() {
+        let results = run(5, |rank| rank.reduce(rank.id() as u64 + 1, 9, |a, b| a + b));
+        assert_eq!(results[0], Some(15));
+    }
+
+    #[test]
+    fn allreduce_gives_everyone_the_total() {
+        let results = run(3, |rank| rank.allreduce(vec![rank.id() as f64], 11, |mut a, b| {
+            a.extend(b);
+            a
+        }));
+        for r in results {
+            assert_eq!(r, vec![0.0, 1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_all() {
+        let results = run(4, |rank| {
+            rank.broadcast(rank.is_root().then_some(String::from("hs-field")), 5)
+        });
+        assert!(results.iter().all(|s| s == "hs-field"));
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let before = AtomicUsize::new(0);
+        let violations = AtomicUsize::new(0);
+        run(4, |rank| {
+            before.fetch_add(1, Ordering::SeqCst);
+            rank.barrier(42);
+            if before.load(Ordering::SeqCst) != 4 {
+                violations.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert_eq!(violations.load(std::sync::atomic::Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn tree_broadcast_matches_flat() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let results = run(size, |rank| {
+                rank.broadcast_tree(rank.is_root().then(|| vec![size, 42]), 21)
+            });
+            assert!(results.iter().all(|v| v == &vec![size, 42]), "size {size}");
+        }
+    }
+
+    #[test]
+    fn tree_reduce_matches_flat() {
+        for size in [1usize, 2, 3, 5, 8, 13] {
+            let results = run(size, |rank| {
+                let flat = rank.reduce(rank.id() as u64 + 1, 22, |a, b| a + b);
+                rank.barrier(23);
+                let tree = rank.reduce_tree(rank.id() as u64 + 1, 24, |a, b| a + b);
+                (flat, tree)
+            });
+            let want = (size as u64 * (size as u64 + 1)) / 2;
+            assert_eq!(results[0], (Some(want), Some(want)), "size {size}");
+            assert!(results[1..].iter().all(|(f, t)| f.is_none() && t.is_none()));
+        }
+    }
+
+    #[test]
+    fn tree_reduce_is_deterministic_for_floats() {
+        // Same tree order every run → identical floating-point totals.
+        let run_once = || {
+            run(7, |rank| {
+                rank.reduce_tree(0.1 * (rank.id() as f64 + 1.0), 25, |a, b| a + b)
+            })[0]
+        };
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn single_rank_universe_works() {
+        let results = run(1, |rank| {
+            assert!(rank.is_root());
+            let v: u8 = rank.scatter(Some(vec![9]), 0);
+            let g = rank.gather(v, 1);
+            let r = rank.reduce(1u32, 2, |a, b| a + b);
+            let b = rank.broadcast(Some(3i32), 3);
+            rank.barrier(4);
+            (v, g, r, b)
+        });
+        assert_eq!(results[0], (9, Some(vec![9]), Some(1), 3));
+    }
+
+    #[test]
+    fn block_range_partitions_exactly() {
+        for n in [0usize, 1, 7, 24, 100] {
+            for size in [1usize, 2, 3, 5, 8] {
+                let mut total = 0;
+                let mut next = 0;
+                for rank in 0..size {
+                    let r = block_range(n, size, rank);
+                    assert_eq!(r.start, next, "contiguous");
+                    next = r.end;
+                    total += r.len();
+                }
+                assert_eq!(total, n);
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_range_is_balanced() {
+        let sizes: Vec<usize> = (0..6).map(|r| block_range(2400, 6, r).len()).collect();
+        assert!(sizes.iter().all(|&s| s == 400));
+        let sizes: Vec<usize> = (0..7).map(|r| block_range(10, 7, r).len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Analytic floating-point-operation accounting.
+//!
+//! The paper reports performance in Gflop/s per FSI stage (Fig. 8) and
+//! aggregate Tflop/s for the hybrid runs (Fig. 9). Rather than hardware
+//! counters, we use the same convention the dense-linear-algebra community
+//! uses: every kernel adds its *textbook* flop count to a counter
+//! (`2mnk` for GEMM, `2/3 n³` for LU, `2n³ - 2/3 n³` extra for inversion,
+//! `2n²(m - n/3)` for QR of an m×n panel, …). Dividing by wall time yields
+//! the same "useful flops per second" metric the paper plots.
+//!
+//! Counting is process-global and lock-free (a relaxed atomic), so parallel
+//! kernels can account concurrently. Harnesses bracket a region with
+//! [`reset_flops`] / [`flop_count`], or use a local [`FlopCounter`] snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_FLOPS: AtomicU64 = AtomicU64::new(0);
+
+/// Adds `n` flops to the global counter.
+#[inline]
+pub fn add_flops(n: u64) {
+    GLOBAL_FLOPS.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Current value of the global flop counter.
+pub fn flop_count() -> u64 {
+    GLOBAL_FLOPS.load(Ordering::Relaxed)
+}
+
+/// Resets the global flop counter to zero.
+pub fn reset_flops() {
+    GLOBAL_FLOPS.store(0, Ordering::Relaxed);
+}
+
+/// Snapshot-based region counter: records the global count at construction
+/// and reports the delta, so disjoint regions can be measured without
+/// resetting (and therefore without interfering with enclosing regions).
+pub struct FlopCounter {
+    start: u64,
+}
+
+impl FlopCounter {
+    /// Starts counting from the current global value.
+    pub fn start() -> Self {
+        FlopCounter {
+            start: flop_count(),
+        }
+    }
+
+    /// Flops accumulated since [`FlopCounter::start`].
+    pub fn elapsed(&self) -> u64 {
+        flop_count().wrapping_sub(self.start)
+    }
+
+    /// Convenience: elapsed flops divided by `seconds`, in Gflop/s.
+    pub fn gflops(&self, seconds: f64) -> f64 {
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.elapsed() as f64 / seconds / 1e9
+    }
+}
+
+/// Textbook flop counts for the dense kernels, kept in one place so kernels
+/// and complexity tables agree by construction.
+pub mod counts {
+    /// General matrix multiply `C += A·B`, A m×k, B k×n: `2mnk`.
+    pub fn gemm(m: usize, n: usize, k: usize) -> u64 {
+        2 * m as u64 * n as u64 * k as u64
+    }
+
+    /// LU factorization with partial pivoting of an m×n matrix (m ≥ n):
+    /// `mn² − n³/3` flops (LAPACK working-note convention); for square n×n
+    /// this is the familiar `2n³/3`.
+    pub fn getrf(m: usize, n: usize) -> u64 {
+        let (m, n) = (m as u64, n as u64);
+        m * n * n - n * n * n / 3
+    }
+
+    /// Triangular solve with `nrhs` right-hand sides against an n×n factor:
+    /// `n²·nrhs` multiply-adds = `2n²·nrhs` flops for one triangle; a full
+    /// `getrs` (L then U) costs twice this.
+    pub fn trsm(n: usize, nrhs: usize) -> u64 {
+        (n as u64) * (n as u64) * (nrhs as u64)
+    }
+
+    /// Full inversion from an LU factorization (LAPACK GETRI): `4n³/3`
+    /// beyond the factorization, totalling `2n³` with it.
+    pub fn getri(n: usize) -> u64 {
+        4 * (n as u64).pow(3) / 3
+    }
+
+    /// Householder QR of an m×n panel (m ≥ n): `2n²(m − n/3)` flops.
+    pub fn geqrf(m: usize, n: usize) -> u64 {
+        let (m, n) = (m as u64, n as u64);
+        2 * n * n * m - 2 * n * n * n / 3
+    }
+
+    /// Applying Qᵀ (from an m×n panel factorization) to an m×k matrix:
+    /// `4mnk − 2n²k` flops (ORMQR).
+    pub fn ormqr(m: usize, n: usize, k: usize) -> u64 {
+        let (m, n, k) = (m as u64, n as u64, k as u64);
+        4 * m * n * k - 2 * n * n * k
+    }
+
+    /// Triangular inversion of an n×n triangle (TRTRI): `n³/3`.
+    pub fn trtri(n: usize) -> u64 {
+        (n as u64).pow(3) / 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_and_resets() {
+        reset_flops();
+        add_flops(10);
+        add_flops(32);
+        assert_eq!(flop_count(), 42);
+        reset_flops();
+        assert_eq!(flop_count(), 0);
+    }
+
+    #[test]
+    fn region_counter_measures_delta() {
+        reset_flops();
+        add_flops(100);
+        let region = FlopCounter::start();
+        add_flops(250);
+        assert_eq!(region.elapsed(), 250);
+        assert!(region.gflops(1.0) > 0.0);
+        assert_eq!(region.gflops(0.0), 0.0);
+    }
+
+    #[test]
+    fn counting_is_thread_safe() {
+        reset_flops();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        add_flops(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(flop_count(), 8000);
+    }
+
+    #[test]
+    fn textbook_counts_match_known_values() {
+        // 2mnk for gemm.
+        assert_eq!(counts::gemm(10, 20, 30), 12_000);
+        // Square LU ≈ 2n³/3.
+        let n = 30u64;
+        assert_eq!(counts::getrf(30, 30), n * n * n - n * n * n / 3);
+        // QR of square panel: 2n³ − 2n³/3 = (4/3)n³.
+        assert_eq!(counts::geqrf(30, 30), 2 * n * n * n - 2 * n * n * n / 3);
+        assert_eq!(counts::getri(10), 4 * 1000 / 3);
+        assert_eq!(counts::trtri(9), 729 / 3);
+        assert_eq!(counts::trsm(10, 5), 500);
+        assert_eq!(counts::ormqr(20, 10, 5), 4 * 20 * 10 * 5 - 2 * 100 * 5);
+    }
+}

@@ -1,0 +1,63 @@
+//! # fsi-runtime — HPC runtime substrate for the FSI workspace
+//!
+//! The FSI paper (Jiang, Bai, Scalettar, IPDPS 2016) parallelizes the
+//! selected-inversion kernel with a *hybrid MPI/OpenMP* model: MPI ranks own
+//! independent Hubbard matrices (coarse grain) while OpenMP threads
+//! parallelize the clustering and wrapping loops inside one matrix (fine
+//! grain). This crate provides Rust-native equivalents of both layers so the
+//! rest of the workspace can reproduce the paper's parallel experiments on a
+//! single machine:
+//!
+//! * [`ThreadPool`] — a persistent worker pool with scoped execution,
+//!   [`ThreadPool::scope`], and data-parallel loops ([`parallel_for`],
+//!   [`parallel_map`]) with static or dynamic scheduling. This is the
+//!   OpenMP analog: pools of an exact size are created for the thread-count
+//!   sweeps of Fig. 8 (bottom) and Fig. 11.
+//! * [`comm`] — in-process "ranks" with point-to-point messaging and the
+//!   collectives the paper uses (`Scatter`, `Gather`, `Broadcast`, `Reduce`,
+//!   `Allreduce`, `Barrier`). This is the MPI analog used by the multi-matrix
+//!   driver (Alg. 3) and the Fig. 9 hybrid sweep.
+//! * [`flops`] — analytic floating-point-operation accounting. The paper
+//!   reports Gflop/s rates for each FSI stage; our dense kernels add their
+//!   textbook flop counts to a global counter so harnesses can report the
+//!   same rates without hardware performance counters.
+//! * [`timing`] — stopwatches and named-section profiles used by the
+//!   figure-regeneration harnesses.
+//!
+//! The crate is dependency-light (crossbeam channels + parking_lot) and has
+//! no knowledge of linear algebra; it sits at the bottom of the workspace
+//! dependency graph.
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod flops;
+pub mod parallel;
+pub mod pool;
+pub mod sim;
+pub mod timing;
+
+pub use flops::{flop_count, reset_flops, FlopCounter};
+pub use parallel::{parallel_for, parallel_map, Schedule};
+pub use pool::{Par, ScopeHandle, ThreadPool};
+pub use timing::{Profile, Stopwatch};
+
+/// Returns the number of hardware threads available to this process.
+///
+/// Used as the default pool size when the `FSI_NUM_THREADS` environment
+/// variable is not set.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Returns the default thread count: `FSI_NUM_THREADS` if set and valid,
+/// otherwise [`hardware_threads`].
+pub fn default_threads() -> usize {
+    std::env::var("FSI_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(hardware_threads)
+}

@@ -1,0 +1,162 @@
+//! Wall-clock timing utilities for the figure-regeneration harnesses.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock stopwatch.
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed wall time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Restarts the stopwatch and returns the time elapsed up to the
+    /// restart.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        self.start = now;
+        d
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Accumulates wall time (and invocation counts) per named section.
+///
+/// Used to produce the per-stage breakdowns of Fig. 8 (top: CLS / BSOFI /
+/// WRP) and Fig. 10 (Green's function vs. measurement time). Sections are
+/// kept in a `BTreeMap` so report order is deterministic.
+#[derive(Default, Debug, Clone)]
+pub struct Profile {
+    sections: BTreeMap<&'static str, (Duration, u64)>,
+}
+
+impl Profile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and charges the elapsed wall time to `section`.
+    pub fn time<R>(&mut self, section: &'static str, f: impl FnOnce() -> R) -> R {
+        let sw = Stopwatch::start();
+        let r = f();
+        self.add(section, sw.elapsed());
+        r
+    }
+
+    /// Charges an externally measured duration to `section`.
+    pub fn add(&mut self, section: &'static str, d: Duration) {
+        let entry = self.sections.entry(section).or_insert((Duration::ZERO, 0));
+        entry.0 += d;
+        entry.1 += 1;
+    }
+
+    /// Total time charged to `section` (zero if never charged).
+    pub fn seconds(&self, section: &'static str) -> f64 {
+        self.sections
+            .get(section)
+            .map(|(d, _)| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Number of times `section` was charged.
+    pub fn count(&self, section: &'static str) -> u64 {
+        self.sections.get(section).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    /// Sum over all sections, in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.sections.values().map(|(d, _)| d.as_secs_f64()).sum()
+    }
+
+    /// Iterates `(section, seconds, count)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64, u64)> + '_ {
+        self.sections
+            .iter()
+            .map(|(name, (d, c))| (*name, d.as_secs_f64(), *c))
+    }
+
+    /// Merges another profile into this one (summing durations and counts).
+    pub fn merge(&mut self, other: &Profile) {
+        for (name, (d, c)) in &other.sections {
+            let entry = self.sections.entry(name).or_insert((Duration::ZERO, 0));
+            entry.0 += *d;
+            entry.1 += *c;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_time() {
+        let mut sw = Stopwatch::start();
+        std::hint::black_box((0..1000).sum::<u64>());
+        assert!(sw.seconds() >= 0.0);
+        let lap = sw.lap();
+        assert!(lap >= Duration::ZERO);
+        // After a lap the stopwatch restarts near zero.
+        assert!(sw.seconds() < lap.as_secs_f64() + 1.0);
+    }
+
+    #[test]
+    fn profile_accumulates_sections() {
+        let mut p = Profile::new();
+        let v = p.time("cls", || 21 * 2);
+        assert_eq!(v, 42);
+        p.add("cls", Duration::from_millis(10));
+        p.add("wrap", Duration::from_millis(5));
+        assert_eq!(p.count("cls"), 2);
+        assert_eq!(p.count("wrap"), 1);
+        assert_eq!(p.count("bsofi"), 0);
+        assert!(p.seconds("cls") >= 0.010);
+        assert!(p.total_seconds() >= p.seconds("cls") + p.seconds("wrap"));
+    }
+
+    #[test]
+    fn profile_merge_sums() {
+        let mut a = Profile::new();
+        a.add("x", Duration::from_millis(2));
+        let mut b = Profile::new();
+        b.add("x", Duration::from_millis(3));
+        b.add("y", Duration::from_millis(1));
+        a.merge(&b);
+        assert_eq!(a.count("x"), 2);
+        assert!((a.seconds("x") - 0.005).abs() < 1e-9);
+        assert_eq!(a.count("y"), 1);
+    }
+
+    #[test]
+    fn profile_iter_is_deterministic() {
+        let mut p = Profile::new();
+        p.add("wrap", Duration::from_millis(1));
+        p.add("bsofi", Duration::from_millis(1));
+        p.add("cls", Duration::from_millis(1));
+        let names: Vec<_> = p.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["bsofi", "cls", "wrap"]);
+    }
+}

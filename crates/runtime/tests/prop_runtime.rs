@@ -1,0 +1,91 @@
+//! Property-based tests of the runtime substrate: scheduling equivalence,
+//! collective correctness, and simulator bounds on arbitrary inputs.
+
+use fsi_runtime::sim::makespan;
+use fsi_runtime::{comm, parallel_map, Par, Schedule, ThreadPool};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// parallel_map equals sequential map for any size/schedule/threads.
+    #[test]
+    fn parallel_map_equals_sequential(
+        n in 0usize..200,
+        threads in 1usize..6,
+        chunk in 1usize..8,
+        dynamic in any::<bool>(),
+    ) {
+        let pool = ThreadPool::new(threads);
+        let schedule = if dynamic { Schedule::Dynamic(chunk) } else { Schedule::Static };
+        let seq: Vec<u64> = (0..n).map(|i| (i as u64).wrapping_mul(0x9E37)).collect();
+        let par = parallel_map(Par::Pool(&pool), n, schedule, |i| {
+            (i as u64).wrapping_mul(0x9E37)
+        });
+        prop_assert_eq!(seq, par);
+    }
+
+    /// Reductions across any rank count equal the sequential fold.
+    #[test]
+    fn reduce_is_topology_invariant(values in prop::collection::vec(-100i64..100, 1..20)) {
+        let want: i64 = values.iter().sum();
+        for ranks in [1usize, 2, 3] {
+            let ranks = ranks.min(values.len());
+            let values = values.clone();
+            let results = comm::run(ranks, move |rank| {
+                let mine: i64 = comm::block_range(values.len(), rank.size(), rank.id())
+                    .map(|i| values[i])
+                    .sum();
+                rank.reduce(mine, 1, |a, b| a + b)
+            });
+            prop_assert_eq!(results[0], Some(want));
+        }
+    }
+
+    /// block_range partitions exactly and near-evenly for any (n, size).
+    #[test]
+    fn block_range_partitions(n in 0usize..1000, size in 1usize..17) {
+        let mut seen = 0usize;
+        let mut lens = Vec::new();
+        let mut next = 0usize;
+        for r in 0..size {
+            let range = comm::block_range(n, size, r);
+            prop_assert_eq!(range.start, next);
+            next = range.end;
+            seen += range.len();
+            lens.push(range.len());
+        }
+        prop_assert_eq!(seen, n);
+        let max = lens.iter().max().unwrap();
+        let min = lens.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Makespan respects the two classical lower bounds and the
+    /// one-worker upper bound.
+    #[test]
+    fn makespan_bounds(tasks in prop::collection::vec(0.001f64..1.0, 0..40), workers in 1usize..16) {
+        let total: f64 = tasks.iter().sum();
+        let longest = tasks.iter().cloned().fold(0.0, f64::max);
+        let m = makespan(&tasks, workers);
+        prop_assert!(m >= longest - 1e-12, "below longest task");
+        prop_assert!(m >= total / workers as f64 - 1e-9, "below mean load");
+        prop_assert!(m <= total + 1e-12, "above serial time");
+        // Greedy list scheduling is a 2-approximation of the optimum,
+        // which is itself ≥ max(longest, total/workers).
+        let lower = longest.max(total / workers as f64);
+        prop_assert!(m <= 2.0 * lower + 1e-9, "worse than 2x optimum bound");
+    }
+
+    /// Scatter + gather is the identity on any payload arrangement.
+    #[test]
+    fn scatter_gather_roundtrip(payload in prop::collection::vec(any::<i32>(), 1..12)) {
+        let ranks = payload.len();
+        let payload2 = payload.clone();
+        let results = comm::run(ranks, move |rank| {
+            let mine: i32 = rank.scatter(rank.is_root().then(|| payload2.clone()), 5);
+            rank.gather(mine, 6)
+        });
+        prop_assert_eq!(results[0].clone(), Some(payload));
+    }
+}

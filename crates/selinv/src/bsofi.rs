@@ -1,0 +1,443 @@
+//! BSOFI — block structured orthogonal factorization inversion
+//! (Gogolenko, Bai, Scalettar, Euro-Par 2014; stage 2 of FSI).
+//!
+//! Computes the *full* dense inverse `Ḡ = M̄⁻¹` of a (reduced) block
+//! p-cyclic matrix with `b` block rows of size `N`, in `O(b²N³)` flops
+//! instead of the `O(b³N³)` of a dense factorization, by exploiting the
+//! p-cyclic sparsity:
+//!
+//! **Stage A — structured QR.** Eliminate the subdiagonal blocks with a
+//! chain of `b−1` Householder QRs of `2N × N` panels
+//! `[D_i; −b̄_{i+1}]`, each orthogonal transform touching only block rows
+//! `(i, i+1)`. The corner block `b̄_0` smears down the last block column as
+//! the chain advances; the resulting `R` is block *upper bidiagonal plus a
+//! dense last block column*:
+//!
+//! ```text
+//!     | R00 E0          C0  |
+//!     |     R11 E1      C1  |
+//! R = |         R22 ... ... |        Q = Q̃0·Q̃1⋯Q̃_{b−1}
+//!     |             ... E_  |
+//!     |                 R__ |
+//! ```
+//!
+//! **Stage B — structured `R⁻¹`.** Because `R⁻¹`'s last block row is zero
+//! left of the diagonal, the back-substitution recurrences collapse to
+//! short products: `X_ij = −R_ii⁻¹(E_i X_{i+1,j} + C_i X_{b−1,j})` with the
+//! `C` term active only in the last column. Block columns are independent →
+//! parallel.
+//!
+//! **Stage C — `Ḡ = X·Qᵀ`.** Right-apply the stored panel transforms in
+//! reverse; each `Q̃_iᵀ` touches a `bN × 2N` column slab, applied with the
+//! compact-WY kernels so the stage is GEMM-rich.
+
+use fsi_dense::tri::invert_upper;
+use fsi_dense::{geqrf, gemm, Matrix, QrFactor};
+use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::{Par, Schedule};
+
+/// Computes the dense inverse `Ḡ = M̄⁻¹` (a `bN × bN` matrix).
+///
+/// `par_cols` parallelizes the independent block columns of stage B (FSI's
+/// OpenMP mode); `par_gemm` parallelizes inside the dense kernels of stages
+/// A and C (the "MKL-style" mode). The FSI drivers pass a pool to exactly
+/// one of the two.
+///
+/// ```
+/// use fsi_runtime::Par;
+/// let m = fsi_pcyclic::random_pcyclic(3, 4, 7);
+/// let g = fsi_selinv::bsofi(Par::Seq, Par::Seq, &m);
+/// // Ḡ really is the inverse of the assembled matrix.
+/// let mut prod = fsi_dense::mul(&m.assemble_dense(), &g);
+/// prod.add_diag(-1.0);
+/// assert!(prod.max_abs() < 1e-10);
+/// ```
+pub fn bsofi(par_cols: Par<'_>, par_gemm: Par<'_>, pc: &BlockPCyclic) -> Matrix {
+    let b = pc.l();
+    if b == 1 {
+        // Degenerate single-block matrix: M̄ = I + b̄0; invert via QR to
+        // stay in the BSOFI (orthogonal) family.
+        let mut m = pc.block(0).clone();
+        m.add_diag(1.0);
+        let f = geqrf(m);
+        let mut x = f.r();
+        invert_upper(x.as_mut());
+        zero_strict_lower(&mut x);
+        f.apply_qt_right(par_gemm, x.as_mut());
+        return x;
+    }
+
+    let factor = StructuredQr::factor(par_gemm, pc);
+    factor.inverse(par_cols, par_gemm)
+}
+
+/// The structured QR factorization of a block p-cyclic matrix
+/// (stage A output, reusable for tests and for solving).
+pub struct StructuredQr {
+    /// Panel factorizations: `qrs[i]` for `i < b−1` factors the `2N × N`
+    /// panel at block rows `(i, i+1)`; `qrs[b−1]` factors the final
+    /// `N × N` diagonal block.
+    qrs: Vec<QrFactor>,
+    /// Superdiagonal fill `E_i = R(i, i+1)` for `i = 0..b−1`;
+    /// `e[b−2]` is the merged last-column entry `R(b−2, b−1)`.
+    e: Vec<Matrix>,
+    /// Last-column fill `C_i = R(i, b−1)` for `i = 0..b−3` (empty if
+    /// `b < 3`).
+    c: Vec<Matrix>,
+    n: usize,
+    b: usize,
+}
+
+impl StructuredQr {
+    /// Runs stage A on the p-cyclic matrix.
+    ///
+    /// # Panics
+    /// Panics if `b < 2` (use [`bsofi`] which handles `b = 1`).
+    pub fn factor(par_gemm: Par<'_>, pc: &BlockPCyclic) -> Self {
+        let n = pc.n();
+        let b = pc.l();
+        assert!(b >= 2, "StructuredQr requires at least two block rows");
+        let mut qrs = Vec::with_capacity(b);
+        let mut e = Vec::with_capacity(b - 1);
+        let mut c = Vec::with_capacity(b.saturating_sub(2));
+        // Current diagonal block D_i (starts as the identity at row 0) and
+        // the corner fill propagating down the last column.
+        let mut d_cur = Matrix::identity(n);
+        let mut corner = pc.block(0).clone();
+        for i in 0..b - 1 {
+            // Panel [D_i; −b̄_{i+1}].
+            let mut panel = Matrix::zeros(2 * n, n);
+            panel.set_block(0, 0, d_cur.as_ref());
+            {
+                let mut bottom = panel.view_mut(n, 0, n, n);
+                bottom.copy_from(pc.block(i + 1).as_ref());
+                bottom.scale(-1.0);
+            }
+            let f = geqrf(panel);
+            if i + 1 < b - 1 {
+                // Column i+1 currently holds [0; I] in rows (i, i+1).
+                let mut col = Matrix::zeros(2 * n, n);
+                col.view_mut(n, 0, n, n).copy_from(Matrix::identity(n).as_ref());
+                f.apply_qt_left(par_gemm, col.as_mut());
+                e.push(col.block(0, 0, n, n));
+                d_cur = col.block(n, 0, n, n);
+                // Last column currently holds [corner; 0].
+                let mut last = Matrix::zeros(2 * n, n);
+                last.set_block(0, 0, corner.as_ref());
+                f.apply_qt_left(par_gemm, last.as_mut());
+                c.push(last.block(0, 0, n, n));
+                corner = last.block(n, 0, n, n);
+            } else {
+                // i+1 == b−1: the next column IS the last column, holding
+                // [corner; I]; the superdiagonal and corner fills merge.
+                let mut last = Matrix::zeros(2 * n, n);
+                last.set_block(0, 0, corner.as_ref());
+                last.view_mut(n, 0, n, n).copy_from(Matrix::identity(n).as_ref());
+                f.apply_qt_left(par_gemm, last.as_mut());
+                e.push(last.block(0, 0, n, n));
+                d_cur = last.block(n, 0, n, n);
+            }
+            qrs.push(f);
+        }
+        // Final N × N diagonal block.
+        qrs.push(geqrf(d_cur));
+        StructuredQr { qrs, e, c, n, b }
+    }
+
+    /// Block size `N`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Block row count `b`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The upper-triangular `N × N` diagonal factor `R_jj`.
+    pub fn r_diag(&self, j: usize) -> Matrix {
+        self.qrs[j].r()
+    }
+
+    /// Superdiagonal fill `E_j` (`j = b−2` is the merged last-column
+    /// entry).
+    pub fn e_block(&self, j: usize) -> &Matrix {
+        &self.e[j]
+    }
+
+    /// Last-column fill `C_j` for `j ≤ b−3`.
+    pub fn c_block(&self, j: usize) -> &Matrix {
+        &self.c[j]
+    }
+
+    /// Assembles the dense `R` factor (tests / inspection; O((bN)²)).
+    pub fn assemble_r(&self) -> Matrix {
+        let (n, b) = (self.n, self.b);
+        let mut r = Matrix::zeros(b * n, b * n);
+        for j in 0..b {
+            r.set_block(j * n, j * n, self.r_diag(j).as_ref());
+        }
+        for (i, e) in self.e.iter().enumerate() {
+            r.set_block(i * n, (i + 1) * n, e.as_ref());
+        }
+        for (i, cblk) in self.c.iter().enumerate() {
+            r.set_block(i * n, (b - 1) * n, cblk.as_ref());
+        }
+        r
+    }
+
+    /// Applies the accumulated `Qᵀ` from the right to a dense `? × bN`
+    /// matrix (stage C primitive): `X := X·Qᵀ`.
+    pub fn apply_qt_right(&self, par_gemm: Par<'_>, x: &mut Matrix) {
+        let (n, b) = (self.n, self.b);
+        assert_eq!(x.cols(), b * n, "apply_qt_right width mismatch");
+        let rows = x.rows();
+        // Qᵀ = Q̃_{b−1}ᵀ·Q̃_{b−2}ᵀ⋯Q̃_0ᵀ; right-multiplication applies the
+        // leftmost factor first.
+        for i in (0..b).rev() {
+            let width = if i == b - 1 { n } else { 2 * n };
+            let slab = x.view_mut(0, i * n, rows, width);
+            self.qrs[i].apply_qt_right(par_gemm, slab);
+        }
+    }
+
+    /// Applies `Qᵀ` from the left to a dense `bN × ?` matrix:
+    /// `X := Qᵀ·X` (used to verify `QᵀM̄ = R` and to solve systems).
+    pub fn apply_qt_left(&self, par_gemm: Par<'_>, x: &mut Matrix) {
+        let (n, b) = (self.n, self.b);
+        assert_eq!(x.rows(), b * n, "apply_qt_left height mismatch");
+        let cols = x.cols();
+        // Qᵀ·X applies Q̃_0ᵀ first.
+        for i in 0..b {
+            let height = if i == b - 1 { n } else { 2 * n };
+            let slab = x.view_mut(i * n, 0, height, cols);
+            self.qrs[i].apply_qt_left(par_gemm, slab);
+        }
+    }
+
+    /// Stage B + C: the dense inverse `Ḡ = R⁻¹·Qᵀ`.
+    pub fn inverse(&self, par_cols: Par<'_>, par_gemm: Par<'_>) -> Matrix {
+        let (n, b) = (self.n, self.b);
+        let dim = b * n;
+        // Diagonal inverses R_jj⁻¹ (independent → parallel-friendly, but
+        // cheap: b triangles of size N).
+        let rinv: Vec<Matrix> = (0..b)
+            .map(|j| {
+                let mut r = self.r_diag(j);
+                invert_upper(r.as_mut());
+                zero_strict_lower(&mut r);
+                r
+            })
+            .collect();
+        let mut g = Matrix::zeros(dim, dim);
+        // Stage B: build X = R⁻¹ column by column (independent columns →
+        // parallel_map), then write the blocks into the dense output.
+        let columns: Vec<Vec<(usize, Matrix)>> = fsi_runtime::parallel_map(
+            par_cols,
+            b,
+            Schedule::Dynamic(1),
+            |j| self.rinv_column(par_gemm, &rinv, j),
+        );
+        for (j, col) in columns.into_iter().enumerate() {
+            for (i, blk) in col {
+                g.set_block(i * n, j * n, blk.as_ref());
+            }
+        }
+        // Stage C: Ḡ = X·Qᵀ.
+        self.apply_qt_right_cols(par_cols, par_gemm, &mut g);
+        g
+    }
+
+    /// Stage C with row-band parallelism: each pool worker owns a disjoint
+    /// horizontal band of `X` and applies the panel chain to it (the panel
+    /// transforms act on columns, so row bands are independent).
+    fn apply_qt_right_cols(&self, par_rows: Par<'_>, par_gemm: Par<'_>, x: &mut Matrix) {
+        let rows = x.rows();
+        let threads = par_rows.threads().min(rows).max(1);
+        if threads <= 1 {
+            self.apply_qt_right(par_gemm, x);
+            return;
+        }
+        let pool = par_rows.pool().expect("threads > 1 implies pool");
+        let chunk = rows.div_ceil(threads);
+        // Split into disjoint row bands.
+        let mut bands = Vec::new();
+        let mut rest = x.as_mut();
+        while rest.rows() > chunk {
+            let (head, tail) = rest.split_at_row(chunk);
+            bands.push(head);
+            rest = tail;
+        }
+        bands.push(rest);
+        pool.scope(|s| {
+            for band in bands {
+                let mut band = band;
+                s.spawn(move || {
+                    let (n, b) = (self.n, self.b);
+                    for i in (0..b).rev() {
+                        let width = if i == b - 1 { n } else { 2 * n };
+                        let rows_band = band.rows();
+                        let slab = band.rb_mut().submatrix(0, i * n, rows_band, width);
+                        self.qrs[i].apply_qt_right(Par::Seq, slab);
+                    }
+                });
+            }
+        });
+    }
+
+    /// Computes the nonzero blocks of column `j` of `X = R⁻¹`:
+    /// returns `(block_row, block)` pairs.
+    fn rinv_column(&self, par_gemm: Par<'_>, rinv: &[Matrix], j: usize) -> Vec<(usize, Matrix)> {
+        let n = self.n;
+        let b = self.b;
+        let mut out = Vec::with_capacity(j + 1);
+        out.push((j, rinv[j].clone()));
+        if j == 0 {
+            return out;
+        }
+        let last_col = j == b - 1;
+        // Walk upward: X_ij = −R_ii⁻¹·(E_i·X_{i+1,j} [+ C_i·X_{b−1,j}]).
+        let x_last = if last_col { Some(&rinv[b - 1]) } else { None };
+        let mut x_below: Matrix = rinv[j].clone();
+        for i in (0..j).rev() {
+            let mut t = Matrix::zeros(n, n);
+            gemm(par_gemm, -1.0, self.e[i].as_ref(), x_below.as_ref(), 0.0, t.as_mut());
+            if last_col && i <= b.saturating_sub(3) && i < self.c.len() {
+                if let Some(xl) = x_last {
+                    gemm(par_gemm, -1.0, self.c[i].as_ref(), xl.as_ref(), 1.0, t.as_mut());
+                }
+            }
+            let mut xij = Matrix::zeros(n, n);
+            gemm(par_gemm, 1.0, rinv[i].as_ref(), t.as_ref(), 0.0, xij.as_mut());
+            out.push((i, xij));
+            x_below = out.last().expect("just pushed").1.clone();
+        }
+        out
+    }
+}
+
+/// Zeroes the strict lower triangle (invert_upper leaves the reflector
+/// storage there untouched).
+fn zero_strict_lower(m: &mut Matrix) {
+    let n = m.rows();
+    for j in 0..n {
+        for i in j + 1..n {
+            m[(i, j)] = 0.0;
+        }
+    }
+}
+
+/// Closed-form flop count of BSOFI (paper §II-C): `≈ 7b²N³`.
+pub fn bsofi_flops(n: usize, b: usize) -> u64 {
+    7 * (b as u64).pow(2) * (n as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_dense::{mul, rel_error};
+    use fsi_pcyclic::random_pcyclic;
+    use fsi_runtime::ThreadPool;
+
+    #[test]
+    fn qt_m_equals_r() {
+        let pc = random_pcyclic(4, 5, 1);
+        let f = StructuredQr::factor(Par::Seq, &pc);
+        let mut m = pc.assemble_dense();
+        f.apply_qt_left(Par::Seq, &mut m);
+        let r = f.assemble_r();
+        assert!(
+            rel_error(&m, &r) < 1e-12,
+            "QᵀM ≠ R: {}",
+            rel_error(&m, &r)
+        );
+        // R's unstored positions really are zero: check one below-diagonal
+        // and one interior block of QᵀM against zero.
+        let below = pc.dense_block(&m, 3, 1);
+        assert!(below.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn bsofi_matches_dense_inverse_various_sizes() {
+        for &(n, b) in &[(2usize, 2usize), (3, 3), (4, 4), (3, 6), (5, 2), (2, 8)] {
+            let pc = random_pcyclic(n, b, (n * 31 + b) as u64);
+            let got = bsofi(Par::Seq, Par::Seq, &pc);
+            let want = pc.reference_green(Par::Seq);
+            assert!(
+                rel_error(&got, &want) < 1e-9,
+                "(n={n}, b={b}): rel err {}",
+                rel_error(&got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn bsofi_single_block() {
+        let pc = random_pcyclic(5, 1, 9);
+        let got = bsofi(Par::Seq, Par::Seq, &pc);
+        let want = pc.reference_green(Par::Seq);
+        assert!(rel_error(&got, &want) < 1e-10);
+    }
+
+    #[test]
+    fn bsofi_inverse_residual() {
+        // MḠ = I directly, independent of the LU reference.
+        let pc = random_pcyclic(6, 4, 10);
+        let g = bsofi(Par::Seq, Par::Seq, &pc);
+        let m = pc.assemble_dense();
+        let mut prod = mul(&m, &g);
+        prod.add_diag(-1.0);
+        assert!(prod.max_abs() < 1e-10, "MḠ − I: {}", prod.max_abs());
+    }
+
+    #[test]
+    fn parallel_modes_match_sequential() {
+        let pool = ThreadPool::new(4);
+        let pc = random_pcyclic(5, 6, 11);
+        let seq = bsofi(Par::Seq, Par::Seq, &pc);
+        let cols_par = bsofi(Par::Pool(&pool), Par::Seq, &pc);
+        let gemm_par = bsofi(Par::Seq, Par::Pool(&pool), &pc);
+        assert!(rel_error(&cols_par, &seq) < 1e-12);
+        assert!(rel_error(&gemm_par, &seq) < 1e-12);
+    }
+
+    #[test]
+    fn hubbard_reduced_matrix_inverts() {
+        use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice};
+        use rand::SeedableRng;
+        let builder = BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let field = HsField::random(8, 4, &mut rng);
+        let pc = hubbard_pcyclic(&builder, &field, fsi_pcyclic::Spin::Up);
+        let cl = crate::cls::cls(Par::Seq, Par::Seq, &pc, 4, 1);
+        let got = bsofi(Par::Seq, Par::Seq, &cl.reduced);
+        let want = cl.reduced.reference_green(Par::Seq);
+        assert!(rel_error(&got, &want) < 1e-9);
+    }
+
+    #[test]
+    fn r_has_documented_sparsity() {
+        let pc = random_pcyclic(3, 5, 12);
+        let f = StructuredQr::factor(Par::Seq, &pc);
+        let r = f.assemble_r();
+        // Interior blocks (i, j) with i+1 < j < b−1 are zero.
+        let blk = pc.dense_block(&r, 0, 2);
+        assert_eq!(blk.max_abs(), 0.0);
+        let blk = pc.dense_block(&r, 1, 3);
+        assert_eq!(blk.max_abs(), 0.0);
+        // Diagonal factors are upper triangular.
+        for j in 0..5 {
+            let d = f.r_diag(j);
+            for col in 0..3 {
+                for row in col + 1..3 {
+                    assert_eq!(d[(row, col)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flop_formula_matches_paper() {
+        assert_eq!(bsofi_flops(100, 10), 7 * 100 * 1_000_000);
+    }
+}

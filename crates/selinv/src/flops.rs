@@ -1,0 +1,121 @@
+//! Closed-form complexity formulas of paper §II-C, in units of flops.
+//!
+//! The paper's comparison table (explicit form of Eq. (2)/(3) vs FSI) in
+//! `N³` units:
+//!
+//! | selection       | explicit form | FSI                 |
+//! |-----------------|---------------|---------------------|
+//! | b diagonals     | `2b²c`        | `[2(c−1) + 7b]·b`   |
+//! | b−1 sub-diag.   | `4b²c`        | `[2c + 7b]·b`       |
+//! | b cols/rows     | `b³c²`        | `3b²c`              |
+//!
+//! These drive the `table_complexity` harness, which prints the formulas
+//! next to *measured* flop counts from [`fsi_runtime::flops`] so the two
+//! can be compared directly.
+
+use crate::patterns::Pattern;
+
+/// `N³` as u64.
+fn n3(n: usize) -> u64 {
+    (n as u64).pow(3)
+}
+
+/// Flops of the explicit-form computation (paper table, left column).
+pub fn explicit_flops(pattern: Pattern, n: usize, l: usize, c: usize) -> u64 {
+    let b = (l / c) as u64;
+    let c = c as u64;
+    match pattern {
+        Pattern::Diagonal => 2 * b * b * c * n3(n),
+        Pattern::SubDiagonal => 4 * b * b * c * n3(n),
+        Pattern::Columns | Pattern::Rows => b * b * b * c * c * n3(n),
+    }
+}
+
+/// Flops of the FSI computation (paper table, right column).
+pub fn fsi_flops(pattern: Pattern, n: usize, l: usize, c: usize) -> u64 {
+    let b = (l / c) as u64;
+    let c = c as u64;
+    match pattern {
+        Pattern::Diagonal => (2 * (c - 1) + 7 * b) * b * n3(n),
+        Pattern::SubDiagonal => (2 * c + 7 * b) * b * n3(n),
+        Pattern::Columns | Pattern::Rows => 3 * b * b * c * n3(n),
+    }
+}
+
+/// Exact stage-by-stage FSI flop budget (CLS + BSOFI + WRP), the sum the
+/// paper's rounded table approximates.
+pub fn fsi_flops_exact(pattern: Pattern, n: usize, l: usize, c: usize) -> u64 {
+    let cls = crate::cls::cls_flops(n, l, c);
+    let b = l / c;
+    let bsofi = crate::bsofi::bsofi_flops(n, b);
+    let wrap = match pattern {
+        Pattern::Diagonal => 0,
+        Pattern::SubDiagonal => 3 * (b as u64) * n3(n),
+        Pattern::Columns | Pattern::Rows => crate::wrap::wrap_flops(n, l, c),
+    };
+    cls + bsofi + wrap
+}
+
+/// Speedup factor of FSI over the explicit form predicted by the formulas.
+pub fn predicted_speedup(pattern: Pattern, n: usize, l: usize, c: usize) -> f64 {
+    explicit_flops(pattern, n, l, c) as f64 / fsi_flops(pattern, n, l, c) as f64
+}
+
+/// Flops of the full LU inversion baseline: `2(NL)³`.
+pub fn full_inverse_flops(n: usize, l: usize) -> u64 {
+    2 * ((n * l) as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_values_at_paper_parameters() {
+        // (N, L, c) = (1, 100, 10) so N³ = 1; b = 10.
+        let (n, l, c) = (1usize, 100usize, 10usize);
+        assert_eq!(explicit_flops(Pattern::Diagonal, n, l, c), 2 * 100 * 10);
+        assert_eq!(explicit_flops(Pattern::SubDiagonal, n, l, c), 4 * 100 * 10);
+        assert_eq!(explicit_flops(Pattern::Columns, n, l, c), 1000 * 100);
+        assert_eq!(fsi_flops(Pattern::Diagonal, n, l, c), (2 * 9 + 70) * 10);
+        assert_eq!(fsi_flops(Pattern::SubDiagonal, n, l, c), (20 + 70) * 10);
+        assert_eq!(fsi_flops(Pattern::Columns, n, l, c), 3 * 100 * 10);
+    }
+
+    #[test]
+    fn fsi_wins_for_paper_scale_problems() {
+        // The paper's headline: FSI is ~bc/3 faster than explicit columns.
+        let (n, l, c) = (100usize, 100usize, 10usize);
+        let s = predicted_speedup(Pattern::Columns, n, l, c);
+        let b = (l / c) as f64;
+        let want = b * c as f64 / 3.0;
+        assert!((s - want).abs() / want < 1e-12, "speedup {s} vs bc/3 = {want}");
+        assert!(s > 30.0);
+    }
+
+    #[test]
+    fn exact_budget_close_to_rounded_table() {
+        let (n, l, c) = (64usize, 100usize, 10usize);
+        for pattern in [Pattern::Columns, Pattern::Rows] {
+            let exact = fsi_flops_exact(pattern, n, l, c) as f64;
+            let rounded = fsi_flops(pattern, n, l, c) as f64;
+            let ratio = exact / rounded;
+            assert!(
+                (0.5..2.0).contains(&ratio),
+                "{pattern:?}: exact {exact} vs table {rounded}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_inverse_dominates_everything() {
+        let (n, l, c) = (100, 100, 10);
+        let full = full_inverse_flops(n, l);
+        assert!(full > explicit_flops(Pattern::Columns, n, l, c));
+        assert!(full > fsi_flops_exact(Pattern::Columns, n, l, c));
+        // Paper: FSI is (2/3)L·c ≈ 667× cheaper than full LU inversion for
+        // b block columns at these parameters.
+        let ratio = full as f64 / fsi_flops(Pattern::Columns, n, l, c) as f64;
+        assert!(ratio > 500.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,266 @@
+//! The FSI algorithm driver (paper Alg. 1):
+//!
+//! ```text
+//! Input:  M (block p-cyclic), c, pattern
+//! 1. randomize q ∈ {0, …, c−1}
+//! 2. M̄ = CLS(M, c, q)            — clustering / block cyclic reduction
+//! 3. Ḡ = M̄⁻¹ via BSOFI          — structured orthogonal inversion
+//! 4. S = WRP(Ḡ, c, q)            — wrapping to the selected pattern
+//! Output: S
+//! ```
+//!
+//! The driver exposes the two execution styles the paper benchmarks on one
+//! socket (Fig. 8 bottom, Figs. 10–11):
+//!
+//! * [`Parallelism::OpenMp`] — *coarse-grained*: the pool parallelizes the
+//!   cluster loop, BSOFI's block columns, and the seed loop, while every
+//!   dense kernel runs sequentially. This is the paper's FSI + OpenMP mode
+//!   and scales with the flat task counts (`b`, `b²`).
+//! * [`Parallelism::MklStyle`] — *fine-grained*: the outer loops run
+//!   sequentially and the pool lives inside the dense kernels, mimicking
+//!   "serial QUEST + multi-threaded MKL". Scaling is Amdahl-bound by the
+//!   serial chain between kernel calls.
+
+use fsi_dense::Matrix;
+use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::{Par, Profile, Stopwatch, ThreadPool};
+use rand::Rng;
+
+use crate::bsofi::bsofi;
+use crate::cls::{cls, Clustered};
+use crate::patterns::{SelectedInverse, Selection};
+use crate::wrap::wrap;
+
+/// Execution style of one FSI invocation.
+#[derive(Clone, Copy)]
+pub enum Parallelism<'p> {
+    /// Single thread everywhere.
+    Serial,
+    /// Coarse-grained: pool over clusters/columns/seeds, sequential
+    /// kernels (the paper's "FSI + OpenMP").
+    OpenMp(&'p ThreadPool),
+    /// Fine-grained: sequential outer loops, pool inside dense kernels
+    /// (the paper's "pure MKL" comparison mode).
+    MklStyle(&'p ThreadPool),
+}
+
+impl<'p> Parallelism<'p> {
+    /// `(outer, inner)` parallelism selectors for the three stages.
+    pub fn split(&self) -> (Par<'p>, Par<'p>) {
+        match self {
+            Parallelism::Serial => (Par::Seq, Par::Seq),
+            Parallelism::OpenMp(pool) => (Par::Pool(pool), Par::Seq),
+            Parallelism::MklStyle(pool) => (Par::Seq, Par::Pool(pool)),
+        }
+    }
+
+    /// Number of threads in play.
+    pub fn threads(&self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::OpenMp(p) | Parallelism::MklStyle(p) => p.size(),
+        }
+    }
+}
+
+/// Result of one FSI run: the selected blocks plus per-stage wall times
+/// (sections `"cls"`, `"bsofi"`, `"wrap"`) for the Fig. 8 breakdown.
+pub struct FsiOutput {
+    /// The selected inversion `S`.
+    pub selected: SelectedInverse,
+    /// Per-stage timing profile.
+    pub profile: Profile,
+    /// The clustering actually used (exposes `q` and the reduced matrix).
+    pub clustered: Clustered,
+    /// The dense reduced inverse `Ḡ` (kept for callers that need extra
+    /// seeds, e.g. the DQMC stabilizer; `(L/c · N)²` doubles).
+    pub g_reduced: Matrix,
+}
+
+/// Runs Alg. 1 with an explicitly chosen shift `q` (deterministic; the
+/// random-`q` entry point is [`fsi`]).
+pub fn fsi_with_q(
+    par: Parallelism<'_>,
+    pc: &BlockPCyclic,
+    selection: &Selection,
+) -> FsiOutput {
+    let (outer, inner) = par.split();
+    let mut profile = Profile::new();
+    let sw = Stopwatch::start();
+    let clustered = cls(outer, inner, pc, selection.c, selection.q);
+    profile.add("cls", sw.elapsed());
+
+    let sw = Stopwatch::start();
+    let g_reduced = bsofi(outer, inner, &clustered.reduced);
+    profile.add("bsofi", sw.elapsed());
+
+    let sw = Stopwatch::start();
+    let selected = wrap(outer, pc, &clustered, &g_reduced, selection);
+    profile.add("wrap", sw.elapsed());
+
+    FsiOutput {
+        selected,
+        profile,
+        clustered,
+        g_reduced,
+    }
+}
+
+/// Runs Alg. 1, drawing the shift `q` uniformly from `0..c` (the paper
+/// randomizes `q` so repeated Green's functions sample all block
+/// positions).
+pub fn fsi<R: Rng + ?Sized>(
+    par: Parallelism<'_>,
+    pc: &BlockPCyclic,
+    pattern: crate::patterns::Pattern,
+    c: usize,
+    rng: &mut R,
+) -> FsiOutput {
+    let q = rng.gen_range(0..c);
+    let selection = Selection::new(pattern, c, q);
+    fsi_with_q(par, pc, &selection)
+}
+
+
+/// The paper's §V-C measurement selection: *all* `L` diagonal blocks plus
+/// `b` block rows plus `b` block columns, produced from a single
+/// clustering + BSOFI (the expensive part is shared by the three wraps).
+///
+/// Returns `(merged, diagonals)`: the full union for time-dependent
+/// measurements, and the diagonal-only subset for equal-time
+/// measurements.
+pub fn fsi_measurement_set(
+    par: Parallelism<'_>,
+    pc: &BlockPCyclic,
+    c: usize,
+    q: usize,
+) -> (SelectedInverse, SelectedInverse) {
+    let (outer, _) = par.split();
+    let rows_sel = Selection::new(crate::patterns::Pattern::Rows, c, q);
+    let out = fsi_with_q(par, pc, &rows_sel);
+    let mut merged = out.selected;
+    let cols = crate::wrap::wrap(
+        outer,
+        pc,
+        &out.clustered,
+        &out.g_reduced,
+        &Selection::new(crate::patterns::Pattern::Columns, c, q),
+    );
+    merged.merge(cols);
+    let diags = crate::wrap::wrap_all_diagonals(outer, pc, &out.clustered, &out.g_reduced);
+    merged.merge(diags.clone());
+    (merged, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::Pattern;
+    use fsi_dense::rel_error;
+    use fsi_pcyclic::random_pcyclic;
+    use rand::SeedableRng;
+
+    fn reference_check(out: &FsiOutput, pc: &BlockPCyclic, selection: &Selection, tol: f64) {
+        let g_ref = pc.reference_green(Par::Seq);
+        for (k, l) in selection.coordinates(pc.l()) {
+            let got = out.selected.get(k, l).expect("block present");
+            let want = pc.dense_block(&g_ref, k, l);
+            assert!(
+                rel_error(got, &want) < tol,
+                "block ({k},{l}) err {}",
+                rel_error(got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_all_patterns() {
+        let pc = random_pcyclic(3, 12, 77);
+        for pattern in Pattern::ALL {
+            let sel = Selection::new(pattern, 4, 2);
+            let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            assert_eq!(out.selected.len(), sel.coordinates(12).len());
+            reference_check(&out, &pc, &sel, 1e-7);
+            // Stage profile is populated.
+            assert!(out.profile.count("cls") == 1);
+            assert!(out.profile.count("bsofi") == 1);
+            assert!(out.profile.count("wrap") == 1);
+        }
+    }
+
+    #[test]
+    fn openmp_and_mkl_modes_agree_with_serial() {
+        let pool = ThreadPool::new(3);
+        let pc = random_pcyclic(4, 8, 78);
+        let sel = Selection::new(Pattern::Columns, 4, 0);
+        let serial = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let omp = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel);
+        let mkl = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel);
+        for (coord, blk) in serial.selected.iter() {
+            let o = omp.selected.get(coord.0, coord.1).expect("omp block");
+            let m = mkl.selected.get(coord.0, coord.1).expect("mkl block");
+            assert!(rel_error(blk, o) < 1e-13);
+            assert!(rel_error(blk, m) < 1e-13);
+        }
+    }
+
+    #[test]
+    fn random_q_stays_in_range_and_validates() {
+        let pc = random_pcyclic(2, 8, 79);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..5 {
+            let out = fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng);
+            assert!(out.clustered.q < 4);
+            let sel = Selection::new(Pattern::Diagonal, 4, out.clustered.q);
+            reference_check(&out, &pc, &sel, 1e-8);
+        }
+    }
+
+    #[test]
+    fn hubbard_end_to_end_matches_reference() {
+        use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice};
+        let builder =
+            BlockBuilder::new(SquareLattice::new(2, 2), HubbardParams::paper_validation(8));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(2);
+        let field = HsField::random(8, 4, &mut rng);
+        for spin in fsi_pcyclic::Spin::BOTH {
+            let pc = hubbard_pcyclic(&builder, &field, spin);
+            let sel = Selection::new(Pattern::Columns, 4, 1);
+            let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            reference_check(&out, &pc, &sel, 1e-8);
+        }
+    }
+
+    #[test]
+    fn measurement_set_contains_everything_and_validates() {
+        let pc = random_pcyclic(3, 8, 80);
+        let (merged, diags) = fsi_measurement_set(Parallelism::Serial, &pc, 4, 1);
+        // All diagonals present.
+        assert_eq!(diags.len(), 8);
+        for k in 0..8 {
+            assert!(merged.contains(k, k), "diag ({k},{k})");
+        }
+        // Rows and columns of the index set present.
+        let sel = Selection::new(Pattern::Rows, 4, 1);
+        for (k, l) in sel.coordinates(8) {
+            assert!(merged.contains(k, l), "row block ({k},{l})");
+            assert!(merged.contains(l, k), "col block ({l},{k})");
+        }
+        // Spot-validate against the reference.
+        let g_ref = pc.reference_green(Par::Seq);
+        for &(k, l) in &[(0usize, 0usize), (5, 2), (2, 6), (7, 7)] {
+            if let Some(blk) = merged.get(k, l) {
+                let want = pc.dense_block(&g_ref, k, l);
+                assert!(rel_error(blk, &want) < 1e-8, "({k},{l})");
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_reports_threads() {
+        let pool = ThreadPool::new(5);
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::OpenMp(&pool).threads(), 5);
+        assert_eq!(Parallelism::MklStyle(&pool).threads(), 5);
+    }
+}

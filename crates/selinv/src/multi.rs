@@ -1,0 +1,342 @@
+//! Parallel application of FSI to many Green's functions (paper Alg. 3)
+//! and the node-memory model behind Fig. 9.
+//!
+//! DQMC needs selected inversions of *tens of thousands* of independent
+//! p-cyclic matrices. Alg. 3 distributes them over MPI ranks: the root
+//! generates the Hubbard–Stratonovich field parameters `h` (cheap to ship,
+//! unlike the matrices), scatters them, each rank builds its matrices
+//! locally and runs the OpenMP FSI per matrix, and local measurement
+//! quantities are combined with `MPI_Reduce`. This module reproduces that
+//! loop on the in-process ranks of [`fsi_runtime::comm`].
+//!
+//! The memory model captures why the paper's Fig. 9 favors the hybrid
+//! configuration: a rank must hold its matrix, the reduced inverse `Ḡ`,
+//! and the selected blocks simultaneously; with 12 ranks per socket the
+//! per-rank budget (≈2.5 GB on Edison) is exceeded already at `N = 576`,
+//! so pure MPI configurations are infeasible exactly where the paper's
+//! OOM-killer anecdote places them.
+
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
+use fsi_runtime::{comm, Stopwatch, ThreadPool};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::fsi::Parallelism;
+use crate::patterns::{Pattern, SelectedInverse};
+
+/// Configuration of a multi-matrix FSI run.
+#[derive(Clone, Debug)]
+pub struct MultiConfig {
+    /// Number of message-passing ranks (MPI processes).
+    pub ranks: usize,
+    /// OpenMP-style threads per rank.
+    pub threads_per_rank: usize,
+    /// Number of independent Green's functions (matrices).
+    pub matrices: usize,
+    /// Cluster size `c`.
+    pub c: usize,
+    /// Selection pattern computed per matrix.
+    pub pattern: Pattern,
+    /// RNG seed for field generation and the per-matrix shift `q`.
+    pub seed: u64,
+}
+
+/// Result of a multi-matrix run.
+#[derive(Clone, Debug)]
+pub struct MultiResult {
+    /// Globally reduced measurement quantities (sum over matrices).
+    pub global_measurements: Vec<f64>,
+    /// Wall-clock seconds of the parallel region.
+    pub seconds: f64,
+    /// Total matrices processed.
+    pub matrices: usize,
+}
+
+/// The per-matrix measurement hook: reduces a selected inversion to a
+/// vector of quantities, which are summed across matrices and ranks (the
+/// paper's `local_measurement_quantities` → `MPI_Reduce`).
+pub type MeasureFn = dyn Fn(&SelectedInverse) -> Vec<f64> + Sync;
+
+/// Runs Alg. 3: scatter fields from the root, per-rank FSI over the local
+/// share of matrices, reduce measurement vectors to the root.
+///
+/// The spin is fixed to [`Spin::Up`]; DQMC proper (both spins, Metropolis
+/// dynamics) lives in the `fsi-dqmc` crate — this driver is the
+/// performance harness of the paper's §V-B.
+pub fn run_multi(builder: &BlockBuilder, cfg: &MultiConfig, measure: &MeasureFn) -> MultiResult {
+    assert!(cfg.ranks > 0 && cfg.threads_per_rank > 0 && cfg.matrices > 0);
+    let l = builder.params().l;
+    let n = builder.lattice().n_sites();
+    let sw = Stopwatch::start();
+    let results = comm::run(cfg.ranks, |rank| {
+        // Root generates all HS fields (as flat ±1 vectors) and scatters
+        // each rank its share, mirroring MPI_Scatter of `h`.
+        let shares: Option<Vec<Vec<Vec<i8>>>> = rank.is_root().then(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            let mut shares: Vec<Vec<Vec<i8>>> = vec![Vec::new(); rank.size()];
+            for m in 0..cfg.matrices {
+                let field = HsField::random(l, n, &mut rng);
+                let dest = owner_of(m, cfg.matrices, rank.size());
+                shares[dest].push(field.to_flat());
+            }
+            shares
+        });
+        let my_fields: Vec<Vec<i8>> = rank.scatter(shares, 1);
+
+        // Per-rank pool = the OpenMP level of the hybrid model.
+        let pool = ThreadPool::new(cfg.threads_per_rank);
+        let par = if cfg.threads_per_rank == 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::OpenMp(&pool)
+        };
+        // The shift q is drawn per matrix (paper: "select q randomly").
+        let mut qrng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9E37 ^ rank.id() as u64);
+        let mut local = Vec::new();
+        for flat in &my_fields {
+            let field = HsField::from_flat(l, n, flat);
+            let pc = hubbard_pcyclic(builder, &field, Spin::Up);
+            let out = crate::fsi::fsi(par, &pc, cfg.pattern, cfg.c, &mut qrng);
+            let quantities = measure(&out.selected);
+            if local.is_empty() {
+                local = quantities;
+            } else {
+                assert_eq!(local.len(), quantities.len(), "measure length varies");
+                for (a, q) in local.iter_mut().zip(quantities) {
+                    *a += q;
+                }
+            }
+        }
+        // Ranks owning zero matrices contribute a zero vector of the
+        // right length; resolve the length via an allreduce of maxima.
+        let len = rank.allreduce(local.len(), 2, usize::max);
+        if local.is_empty() {
+            local = vec![0.0; len];
+        }
+        rank.reduce(local, 3, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })
+    });
+    let global = results
+        .into_iter()
+        .next()
+        .expect("rank 0 result")
+        .expect("root holds the reduction");
+    MultiResult {
+        global_measurements: global,
+        seconds: sw.seconds(),
+        matrices: cfg.matrices,
+    }
+}
+
+/// Which rank owns matrix `m` under the block distribution.
+fn owner_of(m: usize, total: usize, ranks: usize) -> usize {
+    for r in 0..ranks {
+        if comm::block_range(total, ranks, r).contains(&m) {
+            return r;
+        }
+    }
+    unreachable!("matrix {m} of {total} not owned by any of {ranks} ranks")
+}
+
+/// A simple default measurement: `[Σ tr G(k,k), #blocks]` over the
+/// selection — enough to validate reductions end to end.
+pub fn trace_measure(s: &SelectedInverse) -> Vec<f64> {
+    let mut trace = 0.0;
+    for (coord, blk) in s.iter() {
+        if coord.0 == coord.1 {
+            for i in 0..blk.rows() {
+                trace += blk[(i, i)];
+            }
+        }
+    }
+    vec![trace, s.len() as f64]
+}
+
+/// Per-rank memory requirement of one FSI invocation, in bytes
+/// (paper §V-B: input blocks + reduced inverse + selected blocks +
+/// workspace).
+pub fn per_rank_bytes(n: usize, l: usize, c: usize, pattern: Pattern) -> u64 {
+    let n = n as u64;
+    let l = l as u64;
+    let b = l / c as u64;
+    let f = 8u64; // sizeof f64
+    let input = l * n * n * f;
+    let reduced_blocks = b * n * n * f;
+    let g_reduced = (b * n) * (b * n) * f;
+    let selected = pattern.n_blocks(l as usize, c) as u64 * n * n * f;
+    // LU factor cache for the wrapping stage plus per-thread scratch.
+    let workspace = l * n * n * f / 4 + 16 * n * n * f;
+    input + reduced_blocks + g_reduced + selected + workspace
+}
+
+/// The Edison-node memory model of Fig. 9.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryModel {
+    /// Physical memory per node in bytes (Edison: 64 GB).
+    pub node_bytes: u64,
+    /// Memory consumed by OS/kernel/filesystem/MPI buffers per node
+    /// (paper: ≈2.5 GB usable per core of 2.67 GB raw → ≈4 GB overhead).
+    pub reserved_bytes: u64,
+    /// Cores per node (Edison: 24).
+    pub cores_per_node: usize,
+}
+
+impl MemoryModel {
+    /// Edison Cray XC30 node parameters from the paper's §V.
+    pub fn edison() -> Self {
+        MemoryModel {
+            node_bytes: 64 * (1 << 30),
+            reserved_bytes: 4 * (1 << 30),
+            cores_per_node: 24,
+        }
+    }
+
+    /// Whether a `(ranks_per_node × threads_per_rank)` configuration fits.
+    ///
+    /// Each rank needs `per_rank` bytes simultaneously; exceeding the
+    /// usable node memory is what triggered Edison's OOM killer for the
+    /// pure-MPI configurations at `N ≥ 576`.
+    pub fn feasible(&self, ranks_per_node: usize, per_rank: u64) -> bool {
+        ranks_per_node as u64 * per_rank <= self.node_bytes - self.reserved_bytes
+    }
+
+    /// The rank×thread configurations of Fig. 9 for this node
+    /// (`ranks_per_node × threads = cores_per_node`).
+    pub fn configurations(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for threads in 1..=self.cores_per_node {
+            if self.cores_per_node % threads == 0 {
+                out.push((self.cores_per_node / threads, threads));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsi_pcyclic::{HubbardParams, SquareLattice};
+
+    fn small_builder() -> BlockBuilder {
+        BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8))
+    }
+
+    #[test]
+    fn multi_run_reduces_across_ranks() {
+        let builder = small_builder();
+        let cfg = MultiConfig {
+            ranks: 3,
+            threads_per_rank: 1,
+            matrices: 7,
+            c: 4,
+            pattern: Pattern::Diagonal,
+            seed: 42,
+        };
+        let result = run_multi(&builder, &cfg, &trace_measure);
+        assert_eq!(result.matrices, 7);
+        // Block-count channel: 7 matrices × b=2 diagonal blocks.
+        assert_eq!(result.global_measurements[1], 14.0);
+        assert!(result.global_measurements[0].is_finite());
+    }
+
+    #[test]
+    fn rank_count_does_not_change_the_physics() {
+        // The same seed and matrix count must give identical reductions
+        // regardless of how many ranks share the work.
+        let builder = small_builder();
+        let base = MultiConfig {
+            ranks: 1,
+            threads_per_rank: 1,
+            matrices: 5,
+            c: 4,
+            pattern: Pattern::Diagonal,
+            seed: 7,
+        };
+        let r1 = run_multi(&builder, &base, &trace_measure);
+        for ranks in [2usize, 5] {
+            let cfg = MultiConfig { ranks, ..base.clone() };
+            let r = run_multi(&builder, &cfg, &trace_measure);
+            for (a, b) in r1.global_measurements.iter().zip(&r.global_measurements) {
+                assert!(
+                    (a - b).abs() < 1e-6 * a.abs().max(1.0),
+                    "ranks={ranks}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_threads_match_pure_mpi_results() {
+        let builder = small_builder();
+        let cfg1 = MultiConfig {
+            ranks: 2,
+            threads_per_rank: 1,
+            matrices: 4,
+            c: 4,
+            pattern: Pattern::Columns,
+            seed: 9,
+        };
+        let cfg2 = MultiConfig {
+            threads_per_rank: 2,
+            ranks: 1,
+            ..cfg1.clone()
+        };
+        let r1 = run_multi(&builder, &cfg1, &trace_measure);
+        let r2 = run_multi(&builder, &cfg2, &trace_measure);
+        for (a, b) in r1.global_measurements.iter().zip(&r2.global_measurements) {
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn memory_model_reproduces_paper_thresholds() {
+        let model = MemoryModel::edison();
+        // N = 576, (L, c) = (100, 10), columns: paper quotes ≈2.65 GB per
+        // selected inversion; our model adds the working set on top.
+        let per_rank = per_rank_bytes(576, 100, 10, Pattern::Columns);
+        assert!(per_rank > 2 * (1 << 30) as u64, "selected inversion alone > 2 GB");
+        // Pure MPI (12 ranks/socket ⇒ 24 ranks/node) does NOT fit at
+        // N = 576 — the paper's OOM case.
+        assert!(!model.feasible(24, per_rank), "24 ranks x {per_rank} B must OOM");
+        // The hybrid 4 ranks × 6 threads fits.
+        assert!(model.feasible(4, per_rank));
+        // N = 400 fits even for pure MPI (the paper's only feasible pure
+        // MPI point).
+        let per_rank_400 = per_rank_bytes(400, 100, 10, Pattern::Columns);
+        assert!(model.feasible(24, per_rank_400), "N=400 pure MPI fits");
+    }
+
+    #[test]
+    fn configurations_cover_fig9_grid() {
+        let model = MemoryModel::edison();
+        let configs = model.configurations();
+        // Fig. 9's x-axis per node: 24×1, 12×2, 8×3, 4×6, 2×12, 1×24 ...
+        assert!(configs.contains(&(24, 1)));
+        assert!(configs.contains(&(12, 2)));
+        assert!(configs.contains(&(8, 3)));
+        assert!(configs.contains(&(4, 6)));
+        assert!(configs.contains(&(2, 12)));
+        assert!(configs.contains(&(1, 24)));
+        for (r, t) in configs {
+            assert_eq!(r * t, 24);
+        }
+    }
+
+    #[test]
+    fn owner_covers_all_matrices() {
+        for total in [1usize, 7, 24] {
+            for ranks in [1usize, 3, 5] {
+                let mut counts = vec![0usize; ranks];
+                for m in 0..total {
+                    counts[owner_of(m, total, ranks)] += 1;
+                }
+                assert_eq!(counts.iter().sum::<usize>(), total);
+            }
+        }
+    }
+}

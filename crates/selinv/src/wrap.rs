@@ -1,0 +1,443 @@
+//! WRP — the wrapping stage of FSI (paper Alg. 2 and relations (4)–(7)).
+//!
+//! Adjacent blocks of the Green's function satisfy one-step recurrences:
+//! knowing `G(k, ℓ)`, its four neighbours cost one `N × N` product or
+//! solve each. In 0-based torus indices the paper's nine boundary cases
+//! collapse to a uniform rule per direction:
+//!
+//! ```text
+//! down : G(k+1, ℓ) = s·b[k+1]·G(k, ℓ) + [k+1 = ℓ]·I      s = −1 iff k+1 wraps to 0
+//! up   : G(k−1, ℓ) = s·b[k]⁻¹·(G(k, ℓ) − [k = ℓ]·I)      s = −1 iff k = 0 (wraps)
+//! right: G(k, ℓ+1) = s·(G(k, ℓ) − [k = ℓ]·I)·b[ℓ+1]⁻¹    s = −1 iff ℓ+1 wraps to 0
+//! left : G(k, ℓ−1) = s·G(k, ℓ)·b[ℓ] + [k = ℓ−1]·I        s = −1 iff ℓ = 0 (wraps)
+//! ```
+//!
+//! (Each is derived from the explicit expression Eq. (3) via the
+//! similarity `b[r]·W(r−1)⁻¹ = W(r)⁻¹·b[r]`; the identity corrections
+//! appear exactly when the step crosses the block diagonal, the sign flips
+//! exactly when the step crosses the torus seam. All four rules and all
+//! their boundary cases are property-tested against the dense inverse.)
+//!
+//! Algorithm 2 then grows a selected inversion from the `b²` seeds that
+//! BSOFI provides: each seed walks `⌈(c−1)/2⌉` rows up and `⌊(c−1)/2⌋`
+//! rows down (columns pattern; left/right for the rows pattern). Splitting
+//! the walk halves the length of the recurrence chains, halving the
+//! accumulated floating-point error — the `ablation_wrap_split` bench
+//! quantifies this against a one-directional walk. Seeds are independent;
+//! the stage runs under `parallel_for`. Cost `3(bL − b²)N³`.
+//!
+//! Inverse applications `b[k]⁻¹·X` and `X·b[k]⁻¹` are realized as LU
+//! solves against lazily cached factorizations (one per block, shared by
+//! all seeds via `OnceLock`).
+
+use std::sync::OnceLock;
+
+use fsi_dense::{getrf, LuFactor, Matrix};
+use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::{Par, Schedule};
+
+use crate::cls::Clustered;
+use crate::patterns::{Pattern, SelectedInverse, Selection};
+
+/// Lazily cached LU factorizations of the `B` blocks, shared across wrap
+/// walks (thread-safe: each cell is computed at most once per block).
+pub struct BlockFactors<'a> {
+    pc: &'a BlockPCyclic,
+    cells: Vec<OnceLock<LuFactor>>,
+}
+
+impl<'a> BlockFactors<'a> {
+    /// Creates an empty cache for the matrix's blocks.
+    pub fn new(pc: &'a BlockPCyclic) -> Self {
+        BlockFactors {
+            pc,
+            cells: (0..pc.l()).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The LU factorization of `b[k]`, computing it on first use.
+    pub fn factor(&self, k: usize) -> &LuFactor {
+        self.cells[k].get_or_init(|| {
+            getrf(self.pc.block(k).clone())
+                .expect("Hubbard B blocks are products of nonsingular factors")
+        })
+    }
+
+    /// Number of factorizations computed so far (test/telemetry hook).
+    pub fn computed(&self) -> usize {
+        self.cells.iter().filter(|c| c.get().is_some()).count()
+    }
+}
+
+/// One step down: from `G(k, ℓ)` to `G(k+1, ℓ)` (relation (5) with all
+/// boundary cases).
+pub fn step_down(pc: &BlockPCyclic, g: &Matrix, k: usize, l: usize) -> Matrix {
+    let r = pc.down(k);
+    let mut out = fsi_dense::mul(pc.block(r), g);
+    if r == 0 {
+        out.scale(-1.0);
+    }
+    if r == l {
+        out.add_diag(1.0);
+    }
+    out
+}
+
+/// One step up: from `G(k, ℓ)` to `G(k−1, ℓ)` (relation (4)).
+pub fn step_up(
+    _pc: &BlockPCyclic,
+    factors: &BlockFactors<'_>,
+    g: &Matrix,
+    k: usize,
+    l: usize,
+) -> Matrix {
+    let mut rhs = g.clone();
+    if k == l {
+        rhs.add_diag(-1.0);
+    }
+    let mut out = factors.factor(k).solve(&rhs);
+    if k == 0 {
+        out.scale(-1.0);
+    }
+    out
+}
+
+/// One step right: from `G(k, ℓ)` to `G(k, ℓ+1)` (relation (7)).
+pub fn step_right(
+    pc: &BlockPCyclic,
+    factors: &BlockFactors<'_>,
+    g: &Matrix,
+    k: usize,
+    l: usize,
+) -> Matrix {
+    let cnew = pc.down(l);
+    let mut lhs = g.clone();
+    if k == l {
+        lhs.add_diag(-1.0);
+    }
+    let mut out = factors.factor(cnew).solve_right(&lhs);
+    if cnew == 0 {
+        out.scale(-1.0);
+    }
+    out
+}
+
+/// One step left: from `G(k, ℓ)` to `G(k, ℓ−1)` (relation (6)).
+pub fn step_left(pc: &BlockPCyclic, g: &Matrix, k: usize, l: usize) -> Matrix {
+    let mut out = fsi_dense::mul(g, pc.block(l));
+    if l == 0 {
+        out.scale(-1.0);
+    }
+    if k == pc.up(l) {
+        out.add_diag(1.0);
+    }
+    out
+}
+
+/// The wrapping process (paper Alg. 2, extended to all four patterns):
+/// expands the BSOFI seed blocks `Ḡ(k₀, ℓ₀) = G(c·k₀+o, c·ℓ₀+o)` into the
+/// requested selection.
+///
+/// `g_reduced` is the dense `bN × bN` output of BSOFI on the clustered
+/// matrix. `par` parallelizes over seeds (each seed's walk is a serial
+/// chain; seeds are independent).
+pub fn wrap(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    g_reduced: &Matrix,
+    selection: &Selection,
+) -> SelectedInverse {
+    assert_eq!(selection.c, clustered.c, "selection and clustering disagree on c");
+    assert_eq!(selection.q, clustered.q, "selection and clustering disagree on q");
+    let b = clustered.b();
+    let c = clustered.c;
+    let factors = BlockFactors::new(pc);
+    let seed = |k0: usize, l0: usize| clustered.reduced.dense_block(g_reduced, k0, l0);
+
+    match selection.pattern {
+        Pattern::Diagonal => {
+            // S1: the diagonal seeds ARE the selection — no wrapping.
+            let mut out = SelectedInverse::new();
+            for k0 in 0..b {
+                let k = clustered.to_original(k0);
+                out.insert(k, k, seed(k0, k0));
+            }
+            out
+        }
+        Pattern::SubDiagonal => {
+            // S2: one right-step from each diagonal seed.
+            let results = fsi_runtime::parallel_map(par, b, Schedule::Dynamic(1), |k0| {
+                let k = clustered.to_original(k0);
+                let gkk = seed(k0, k0);
+                let gk_next = step_right(pc, &factors, &gkk, k, k);
+                (k, pc.down(k), gk_next)
+            });
+            let mut out = SelectedInverse::new();
+            for (k, l, blk) in results {
+                out.insert(k, l, blk);
+            }
+            out
+        }
+        Pattern::Columns | Pattern::Rows => {
+            let rows_pattern = selection.pattern == Pattern::Rows;
+            // b² independent seeds; each walks (c−1) steps split between
+            // the two directions to minimize chain length.
+            let up_steps = c / 2; // ⌈(c−1)/2⌉ for the "before" direction
+            let down_steps = (c - 1) - up_steps;
+            let results = fsi_runtime::parallel_map(par, b * b, Schedule::Dynamic(1), |s| {
+                let (k0, l0) = (s / b, s % b);
+                let k = clustered.to_original(k0);
+                let l = clustered.to_original(l0);
+                let mut produced: Vec<(usize, usize, Matrix)> = Vec::with_capacity(c);
+                let g_seed = seed(k0, l0);
+                if rows_pattern {
+                    // Walk left then right along block row k.
+                    let mut cur = g_seed.clone();
+                    let mut col = l;
+                    for _ in 0..up_steps {
+                        cur = step_left(pc, &cur, k, col);
+                        col = pc.up(col);
+                        produced.push((k, col, cur.clone()));
+                    }
+                    let mut cur = g_seed.clone();
+                    let mut col = l;
+                    for _ in 0..down_steps {
+                        cur = step_right(pc, &factors, &cur, k, col);
+                        col = pc.down(col);
+                        produced.push((k, col, cur.clone()));
+                    }
+                } else {
+                    // Walk up then down along block column ℓ.
+                    let mut cur = g_seed.clone();
+                    let mut row = k;
+                    for _ in 0..up_steps {
+                        cur = step_up(pc, &factors, &cur, row, l);
+                        row = pc.up(row);
+                        produced.push((row, l, cur.clone()));
+                    }
+                    let mut cur = g_seed.clone();
+                    let mut row = k;
+                    for _ in 0..down_steps {
+                        cur = step_down(pc, &cur, row, l);
+                        row = pc.down(row);
+                        produced.push((row, l, cur.clone()));
+                    }
+                }
+                produced.push((k, l, g_seed));
+                produced
+            });
+            let mut out = SelectedInverse::new();
+            for chunk in results {
+                for (k, l, blk) in chunk {
+                    out.insert(k, l, blk);
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Wraps the diagonal seeds into *all* `L` diagonal blocks of `G` — the
+/// equal-time Green's functions DQMC measurements need (paper §V-C
+/// computes "all diagonal blocks, b block rows and b block columns").
+///
+/// Each seed walks the diagonal with composed down+right steps
+/// (`G(k,k) → G(k+1,k) → G(k+1,k+1)`, both proven relations), producing
+/// `c−1` new diagonal blocks per seed at ~4N³ flops each.
+pub fn wrap_all_diagonals(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    g_reduced: &Matrix,
+) -> SelectedInverse {
+    let b = clustered.b();
+    let c = clustered.c;
+    let factors = BlockFactors::new(pc);
+    let results = fsi_runtime::parallel_map(par, b, Schedule::Dynamic(1), |k0| {
+        let mut produced = Vec::with_capacity(c);
+        let k = clustered.to_original(k0);
+        let mut cur = clustered.reduced.dense_block(g_reduced, k0, k0);
+        produced.push((k, cur.clone()));
+        let mut row = k;
+        for _ in 0..c - 1 {
+            let below = step_down(pc, &cur, row, row);
+            cur = step_right(pc, &factors, &below, pc.down(row), row);
+            row = pc.down(row);
+            produced.push((row, cur.clone()));
+        }
+        produced
+    });
+    let mut out = SelectedInverse::new();
+    for chunk in results {
+        for (k, blk) in chunk {
+            out.insert(k, k, blk);
+        }
+    }
+    out
+}
+
+/// Closed-form flop count of the wrapping stage for the columns/rows
+/// patterns (paper §II-C): `3(bL − b²)N³`.
+pub fn wrap_flops(n: usize, l: usize, c: usize) -> u64 {
+    let b = (l / c) as u64;
+    3 * (b * l as u64 - b * b) * (n as u64).pow(3)
+}
+
+/// Exercises every relation against a dense reference — used by tests and
+/// the validation binary. Returns the maximum relative error over all
+/// steps from all `(k, ℓ)` source blocks.
+pub fn max_relation_error(pc: &BlockPCyclic, g_dense: &Matrix) -> f64 {
+    let l = pc.l();
+    let factors = BlockFactors::new(pc);
+    let mut worst = 0.0f64;
+    for k in 0..l {
+        for j in 0..l {
+            let g = pc.dense_block(g_dense, k, j);
+            let checks = [
+                (pc.down(k), j, step_down(pc, &g, k, j)),
+                (pc.up(k), j, step_up(pc, &factors, &g, k, j)),
+                (k, pc.down(j), step_right(pc, &factors, &g, k, j)),
+                (k, pc.up(j), step_left(pc, &g, k, j)),
+            ];
+            for (kk, jj, got) in checks {
+                let want = pc.dense_block(g_dense, kk, jj);
+                worst = worst.max(fsi_dense::rel_error(&got, &want));
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cls::cls;
+    use fsi_dense::rel_error;
+    use fsi_pcyclic::random_pcyclic;
+    use fsi_runtime::ThreadPool;
+
+    #[test]
+    fn all_four_relations_hold_everywhere() {
+        // Exhaustive over every (k, ℓ) and direction, covering all nine
+        // boundary cases of the paper (diagonal, sub-diagonal, first/last
+        // row, first/last column, corners).
+        let pc = random_pcyclic(3, 6, 21);
+        let g = pc.reference_green(Par::Seq);
+        let worst = max_relation_error(&pc, &g);
+        assert!(worst < 1e-9, "worst relation error: {worst}");
+    }
+
+    #[test]
+    fn relations_hold_for_hubbard_blocks() {
+        use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice};
+        use rand::SeedableRng;
+        let builder =
+            BlockBuilder::new(SquareLattice::new(2, 2), HubbardParams::paper_validation(5));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let field = HsField::random(5, 4, &mut rng);
+        let pc = hubbard_pcyclic(&builder, &field, fsi_pcyclic::Spin::Down);
+        let g = pc.reference_green(Par::Seq);
+        assert!(max_relation_error(&pc, &g) < 1e-8);
+    }
+
+    #[test]
+    fn factors_are_computed_lazily_and_once() {
+        let pc = random_pcyclic(3, 8, 22);
+        let f = BlockFactors::new(&pc);
+        assert_eq!(f.computed(), 0);
+        let _ = f.factor(3);
+        let _ = f.factor(3);
+        let _ = f.factor(5);
+        assert_eq!(f.computed(), 2);
+    }
+
+    fn check_selection(pattern: Pattern, n: usize, l: usize, c: usize, q: usize, tol: f64) {
+        let pc = random_pcyclic(n, l, (l * 100 + c * 10 + q) as u64);
+        let sel = Selection::new(pattern, c, q);
+        let clustered = cls(Par::Seq, Par::Seq, &pc, c, q);
+        let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
+        let result = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
+        let want_coords = sel.coordinates(l);
+        assert_eq!(result.len(), want_coords.len(), "{pattern:?} block count");
+        let g_ref = pc.reference_green(Par::Seq);
+        for (k, j) in want_coords {
+            let got = result.get(k, j).unwrap_or_else(|| panic!("missing ({k},{j})"));
+            let want = pc.dense_block(&g_ref, k, j);
+            let err = rel_error(got, &want);
+            assert!(err < tol, "{pattern:?} block ({k},{j}) err {err}");
+        }
+    }
+
+    #[test]
+    fn diagonal_selection_matches_reference() {
+        check_selection(Pattern::Diagonal, 3, 8, 4, 1, 1e-8);
+        check_selection(Pattern::Diagonal, 2, 9, 3, 0, 1e-8);
+    }
+
+    #[test]
+    fn subdiagonal_selection_matches_reference() {
+        check_selection(Pattern::SubDiagonal, 3, 8, 4, 3, 1e-8);
+        check_selection(Pattern::SubDiagonal, 2, 6, 2, 1, 1e-8);
+    }
+
+    #[test]
+    fn column_selection_matches_reference() {
+        check_selection(Pattern::Columns, 2, 8, 4, 0, 1e-7);
+        check_selection(Pattern::Columns, 3, 6, 3, 2, 1e-7);
+        check_selection(Pattern::Columns, 2, 12, 4, 2, 1e-7);
+    }
+
+    #[test]
+    fn row_selection_matches_reference() {
+        check_selection(Pattern::Rows, 2, 8, 4, 1, 1e-7);
+        check_selection(Pattern::Rows, 3, 9, 3, 1, 1e-7);
+    }
+
+    #[test]
+    fn all_shifts_work() {
+        for q in 0..4 {
+            check_selection(Pattern::Columns, 2, 8, 4, q, 1e-7);
+        }
+    }
+
+    #[test]
+    fn parallel_wrap_matches_sequential() {
+        let pool = ThreadPool::new(4);
+        let pc = random_pcyclic(3, 8, 30);
+        let sel = Selection::new(Pattern::Columns, 4, 1);
+        let clustered = cls(Par::Seq, Par::Seq, &pc, 4, 1);
+        let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
+        let seq = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
+        let par = wrap(Par::Pool(&pool), &pc, &clustered, &g_red, &sel);
+        assert_eq!(seq.len(), par.len());
+        for (coord, blk) in seq.iter() {
+            let other = par.get(coord.0, coord.1).expect("same coords");
+            assert!(rel_error(blk, other) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn all_diagonals_match_reference() {
+        for (l, c, q) in [(8usize, 4usize, 1usize), (9, 3, 0), (6, 6, 2)] {
+            let pc = random_pcyclic(3, l, (l * 7 + c) as u64);
+            let clustered = cls(Par::Seq, Par::Seq, &pc, c, q);
+            let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
+            let diags = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red);
+            assert_eq!(diags.len(), l);
+            let g_ref = pc.reference_green(Par::Seq);
+            for k in 0..l {
+                let got = diags.get(k, k).expect("diag block");
+                let want = pc.dense_block(&g_ref, k, k);
+                let err = rel_error(got, &want);
+                assert!(err < 1e-7, "L={l} c={c} q={q} k={k}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_flop_formula() {
+        // 3(bL − b²)N³ for (N, L, c) = (10, 100, 10): b = 10.
+        assert_eq!(wrap_flops(10, 100, 10), 3 * (1000 - 100) * 1000);
+    }
+}

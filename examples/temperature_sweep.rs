@@ -1,0 +1,59 @@
+//! Physics application: antiferromagnetic correlations growing as the
+//! temperature drops — the class of measurement campaign the paper's
+//! pipeline (and its Tflop budget on Edison) exists to run.
+//!
+//! Sweeps the inverse temperature β at fixed `U`, running a full DQMC
+//! simulation per point, and prints the local moment, the staggered
+//! structure factor `S(π,π)`, and the uniform XY susceptibility. At half
+//! filling the Hubbard model develops AF order as `T → 0`, so all three
+//! should grow monotonically (within Monte Carlo noise at this tiny
+//! scale).
+//!
+//! Run with: `cargo run --release --example temperature_sweep`
+
+use fsi::dqmc::{run, DqmcConfig};
+use fsi::selinv::Parallelism;
+
+fn main() {
+    println!("Hubbard 4x4, U = 4, half filling: cooling sweep\n");
+    println!(
+        "{:>6} {:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "beta", "L", "moment", "S(pi,pi)", "chi_xy", "docc", "accept"
+    );
+    let mut previous_sf: Option<f64> = None;
+    for (beta, l) in [(1.0, 8usize), (2.0, 16), (3.0, 24), (4.0, 32)] {
+        let cfg = DqmcConfig {
+            nx: 4,
+            ny: 4,
+            t: 1.0,
+            u: 4.0,
+            beta,
+            l,
+            c: 4,
+            warmup: 3,
+            measurements: 6,
+            stabilize_every: 4,
+            delay: 8,
+            seed: 4242,
+        };
+        let r = run(&cfg, Parallelism::Serial);
+        println!(
+            "{:>6.1} {:>6} {:>10.4} {:>12.4} {:>12.4} {:>12.4} {:>10.3}",
+            beta,
+            l,
+            r.moment.mean(),
+            r.structure_factor.mean(),
+            r.susceptibility.mean(),
+            r.double_occupancy.mean(),
+            r.acceptance.mean()
+        );
+        if let Some(prev) = previous_sf {
+            if r.structure_factor.mean() < prev * 0.7 {
+                println!("        (note: S(pi,pi) dipped — expected occasionally at this tiny sample size)");
+            }
+        }
+        previous_sf = Some(r.structure_factor.mean());
+    }
+    println!("\nexpected physics: moment, S(pi,pi) and chi_xy all grow on cooling —");
+    println!("antiferromagnetic correlations building up in the half-filled Hubbard model.");
+}
