@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Offline-friendly CI gate: formatting, lints, build, tests.
+#
+# Usage: ci/check.sh [--quick]
+#   --quick   skip the test suite (format + lint + build only)
+#
+# Everything runs with --offline so the gate works in sandboxes without
+# registry access (all third-party deps are vendored in vendor/).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --offline --workspace --release
+
+if [[ $quick -eq 0 ]]; then
+  echo "== cargo test =="
+  cargo test --offline --workspace -q
+fi
+
+echo "== all checks passed =="

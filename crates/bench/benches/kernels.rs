@@ -18,6 +18,33 @@ fn bench_gemm(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_gemm_trace_overhead(c: &mut Criterion) {
+    // The observability acceptance bar: with tracing *disabled* (the
+    // default), the span/charge hooks on the gemm hot path must stay
+    // under 2% overhead at N = 64. Compare `gemm_trace/off` against
+    // `gemm_trace/stages` and `gemm_trace/kernels` to see the cost of
+    // enabling collection.
+    use fsi_runtime::trace;
+    let n = 64usize;
+    let a = test_matrix(n, n, 1);
+    let b = test_matrix(n, n, 2);
+    let mut g = c.benchmark_group("gemm_trace");
+    g.throughput(Throughput::Elements(counts::gemm(n, n, n)));
+    for (label, level) in [
+        ("off", fsi_runtime::TraceLevel::Off),
+        ("stages", fsi_runtime::TraceLevel::Stages),
+        ("kernels", fsi_runtime::TraceLevel::Kernels),
+    ] {
+        trace::set_level(level);
+        g.bench_function(label, |bench| {
+            bench.iter(|| std::hint::black_box(mul(&a, &b)));
+        });
+        trace::set_level(fsi_runtime::TraceLevel::Off);
+        trace::clear();
+    }
+    g.finish();
+}
+
 fn bench_getrf(c: &mut Criterion) {
     let mut g = c.benchmark_group("getrf");
     for n in [64usize, 128, 256] {
@@ -118,6 +145,7 @@ fn bench_invert_upper(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_gemm,
+    bench_gemm_trace_overhead,
     bench_getrf,
     bench_geqrf_panel,
     bench_ormqr,

@@ -12,21 +12,29 @@
 //! To make the instability visible at laptop scale the Hubbard matrix is
 //! generated at low temperature (large β → wildly scaled `B` products).
 
-use fsi_bench::{banner, Args};
+use fsi_bench::{banner, init_trace, Args};
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
-use fsi_runtime::{FlopCounter, Par, Stopwatch};
+use fsi_runtime::{trace, Par, Stopwatch};
 use fsi_selinv::baselines::{full_inverse_selected, max_block_error};
 use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
 use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("ablation_cluster_size", &args);
     let l = args.get_usize("L", 48);
     let nx = args.get_usize("nx", 2);
     let beta = args.get_f64("beta", 12.0);
-    banner("Ablation: cluster size c vs speed and accuracy (paper Sec. II-C)", args.paper_scale());
+    banner(
+        "Ablation: cluster size c vs speed and accuracy (paper Sec. II-C)",
+        args.paper_scale(),
+    );
     let lattice = SquareLattice::new(nx, nx.max(2) / nx.max(1)); // nx × 1 chain when nx small
-    let lattice = if nx >= 2 { SquareLattice::square(nx) } else { lattice };
+    let lattice = if nx >= 2 {
+        SquareLattice::square(nx)
+    } else {
+        lattice
+    };
     let n = lattice.n_sites();
     let params = HubbardParams {
         t: 1.0,
@@ -47,15 +55,15 @@ fn main() {
         "c", "b", "time [s]", "Gflop", "max rel err"
     );
     for c in 1..=l {
-        if l % c != 0 {
+        if !l.is_multiple_of(c) {
             continue;
         }
         let sel = Selection::new(Pattern::Columns, c, c / 2);
-        let fc = FlopCounter::start();
+        let span = trace::span("fsi-run");
         let sw = Stopwatch::start();
         let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
         let secs = sw.seconds();
-        let gflop = fc.elapsed() as f64 / 1e9;
+        let gflop = span.finish().flops as f64 / 1e9;
         let reference = full_inverse_selected(Par::Seq, &pc, &sel);
         let err = max_block_error(&out.selected, &reference);
         let note = if (c as f64 - sqrt_l).abs() <= 2.0 {
@@ -63,8 +71,12 @@ fn main() {
         } else {
             ""
         };
-        println!("{c:>4} {:>6} {secs:>12.4} {gflop:>12.3} {err:>14.3e}   {note}", l / c);
+        println!(
+            "{c:>4} {:>6} {secs:>12.4} {gflop:>12.3} {err:>14.3e}   {note}",
+            l / c
+        );
     }
     println!("\nshape check (paper): flops fall as c grows (greater reduction) while the");
     println!("round-off error climbs with the chain length; c ~ sqrt(L) balances the two.");
+    export.finish(None);
 }

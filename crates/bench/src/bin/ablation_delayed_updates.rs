@@ -28,16 +28,22 @@ fn main() {
     let n = nx * nx;
     println!("(N, L, c) = ({n}, {l}, {c}), {sweeps} sweeps per configuration\n");
 
-    let builder = BlockBuilder::new(SquareLattice::square(nx), HubbardParams {
-        t: 1.0,
-        u: 4.0,
-        beta: 2.0,
-        l,
-    });
+    let builder = BlockBuilder::new(
+        SquareLattice::square(nx),
+        HubbardParams {
+            t: 1.0,
+            u: 4.0,
+            beta: 2.0,
+            l,
+        },
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(1);
     let field = HsField::random(l, n, &mut rng);
 
-    println!("{:>8} {:>12} {:>12} {:>14}", "delay", "time [s]", "accepted", "trajectory");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14}",
+        "delay", "time [s]", "accepted", "trajectory"
+    );
     let mut reference: Option<Vec<i8>> = None;
     for delay in [1usize, 4, 8, 16, 32] {
         let cfg = SweepConfig {

@@ -20,10 +20,16 @@ fn main() {
     let l = args.get_usize("L", 60);
     let c = args.get_usize("c", 6);
     let threads = args.get_usize("threads", 4);
-    banner("Ablation: static vs dynamic parallel-for scheduling", args.paper_scale());
+    banner(
+        "Ablation: static vs dynamic parallel-for scheduling",
+        args.paper_scale(),
+    );
     let pc = hubbard_matrix(nx, l, 9, Spin::Up);
     let sel = Selection::new(Pattern::Columns, c, c / 2);
-    println!("(N, L, c) = ({}, {l}, {c}), pool = {threads} threads\n", nx * nx);
+    println!(
+        "(N, L, c) = ({}, {l}, {c}), pool = {threads} threads\n",
+        nx * nx
+    );
 
     // Measured per-task durations.
     let traces = trace_fsi(&pc, &sel);
@@ -50,7 +56,10 @@ fn main() {
     // Real pools (wall-clock; informative on multi-core hosts).
     let pool = ThreadPool::new(threads);
     println!("\nmeasured wall time of the wrap loop under each schedule:");
-    for (name, schedule) in [("static", Schedule::Static), ("dynamic", Schedule::dynamic())] {
+    for (name, schedule) in [
+        ("static", Schedule::Static),
+        ("dynamic", Schedule::dynamic()),
+    ] {
         let sw = Stopwatch::start();
         // A representative parallel loop shape: b² tasks of wrap-like
         // work (N×N multiply per task).

@@ -9,6 +9,8 @@
 //! reference. The split walk halves the recurrence chain length and
 //! should carry a visibly smaller error.
 
+#![allow(clippy::needless_range_loop)] // distance-class loops index parallel arrays
+
 use fsi_bench::{banner, Args};
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi_runtime::Par;
@@ -21,7 +23,10 @@ fn main() {
     let l = args.get_usize("L", 48);
     let c = args.get_usize("c", 12);
     let beta = args.get_f64("beta", 16.0);
-    banner("Ablation: split vs one-directional wrapping walk (paper Alg. 2)", args.paper_scale());
+    banner(
+        "Ablation: split vs one-directional wrapping walk (paper Alg. 2)",
+        args.paper_scale(),
+    );
     let lattice = SquareLattice::new(2, 2);
     let n = lattice.n_sites();
     println!("(N, L, c) = ({n}, {l}, {c}), beta = {beta}\n");
@@ -88,7 +93,10 @@ fn main() {
         }
     }
 
-    println!("{:>6} {:>16} {:>16}", "steps", "split walk err", "one-way walk err");
+    println!(
+        "{:>6} {:>16} {:>16}",
+        "steps", "split walk err", "one-way walk err"
+    );
     for d in 1..=max_dist {
         let s = if split_err[d] > 0.0 {
             format!("{:.3e}", split_err[d])

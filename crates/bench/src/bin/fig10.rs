@@ -10,10 +10,8 @@
 //! cannot touch), while FSI+OpenMP cuts both phases — the paper reports
 //! 87% less total CPU time.
 
-use fsi_bench::{banner, lattice_side_for, Args};
-use fsi_pcyclic::{
-    hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice,
-};
+use fsi_bench::{banner, init_trace, lattice_side_for, Args};
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi_runtime::sim::makespan;
 use fsi_runtime::{Stopwatch, ThreadPool};
 use fsi_selinv::fsi::fsi_measurement_set;
@@ -22,12 +20,16 @@ use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("fig10", &args);
     let paper = args.paper_scale();
     let n_req = args.get_usize("N", if paper { 400 } else { 36 });
     let l = args.get_usize("L", if paper { 100 } else { 40 });
     let c = args.get_usize("c", if paper { 10 } else { 8 });
     let threads = args.get_usize("threads", 12);
-    banner("Green's function vs measurement runtime (paper Fig. 10)", paper);
+    banner(
+        "Green's function vs measurement runtime (paper Fig. 10)",
+        paper,
+    );
     let nx = lattice_side_for(n_req);
     let n = nx * nx;
     println!("(N, L, c) = ({n}, {l}, {c}); both spins; all diagonals + b rows + b cols\n");
@@ -117,4 +119,5 @@ fn main() {
             fsi_runtime::hardware_threads()
         );
     }
+    export.finish(Some(&pool));
 }

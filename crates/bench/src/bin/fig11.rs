@@ -12,13 +12,14 @@
 //! phases fork over `b²` seeds / SPXX pairs (near-ideal), the sweep's
 //! rank-1 updates are serial while its stabilizations fork.
 
-use fsi_bench::{banner, lattice_side_for, Args};
-use fsi_dqmc::{DqmcConfig, run};
+use fsi_bench::{banner, init_trace, lattice_side_for, Args};
+use fsi_dqmc::{run, DqmcConfig};
 use fsi_runtime::ThreadPool;
 use fsi_selinv::Parallelism;
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("fig11", &args);
     let paper = args.paper_scale();
     let n_req = args.get_usize("N", if paper { 400 } else { 16 });
     let l = args.get_usize("L", if paper { 100 } else { 16 });
@@ -81,8 +82,8 @@ fn main() {
         let omp_sim_total = green_sim + meas_sim + sweep_sim;
         // MKL-style: only the dense kernels inside the Green's phase and
         // the stabilizations fork; measurements and scalar loops do not.
-        let mkl_sim_total = green_s * (0.4 + 0.6 / tf) + meas_s + sweep_serial
-            + sweep_parallel * (0.4 + 0.6 / tf);
+        let mkl_sim_total =
+            green_s * (0.4 + 0.6 / tf) + meas_s + sweep_serial + sweep_parallel * (0.4 + 0.6 / tf);
         println!(
             "{:>8} {:>14.3} {:>14.3} {:>14.2} {:>14.2}",
             t,
@@ -105,4 +106,5 @@ fn main() {
         "\nphysics cross-check: serial density = {:.6}",
         serial.density.mean()
     );
+    export.finish(None);
 }

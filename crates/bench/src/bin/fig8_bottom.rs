@@ -13,13 +13,14 @@
 //!   shape: OpenMP tracks the ideal line closely; MKL-style saturates
 //!   early (Amdahl on the serial glue between kernels).
 
-use fsi_bench::{banner, hubbard_matrix, lattice_side_for, trace_fsi, Args};
+use fsi_bench::{banner, hubbard_matrix, init_trace, lattice_side_for, trace_fsi, Args};
 use fsi_pcyclic::Spin;
 use fsi_runtime::{Stopwatch, ThreadPool};
 use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("fig8_bottom", &args);
     let paper = args.paper_scale();
     let n_req = args.get_usize("N", if paper { 576 } else { 64 });
     let l = args.get_usize("L", if paper { 100 } else { 60 });
@@ -69,4 +70,5 @@ fn main() {
             max_threads
         );
     }
+    export.finish(None);
 }

@@ -8,13 +8,22 @@
 //! "the lower rate of the dense inversions is compensated by DGEMM-rich
 //! clustering and wrapping".
 
-use fsi_bench::{banner, gflops, hubbard_matrix, lattice_side_for, Args};
+use fsi_bench::{banner, hubbard_matrix, init_trace, lattice_side_for, Args};
 use fsi_pcyclic::Spin;
-use fsi_runtime::{FlopCounter, Stopwatch};
+use fsi_runtime::trace;
 use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+/// Runs `f` under a span named `name` and returns its stage Gflop/s.
+fn stage_rate<R>(name: &'static str, f: impl FnOnce() -> R) -> (R, f64) {
+    let span = trace::span(name);
+    let out = f();
+    let stats = span.finish();
+    (out, stats.gflops())
+}
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("fig8_top", &args);
     let paper = args.paper_scale();
     let sizes = args.get_list(
         "N",
@@ -27,12 +36,18 @@ fn main() {
     let l = args.get_usize("L", if paper { 100 } else { 60 });
     let c = args.get_usize("c", if paper { 10 } else { 6 });
     banner("FSI performance rate by stage (paper Fig. 8 top)", paper);
-    println!("(L, c) = ({l}, {c}), b = {} block columns selected\n", l / c);
+    println!(
+        "(L, c) = ({l}, {c}), b = {} block columns selected\n",
+        l / c
+    );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "N", "CLS", "BSOFI", "WRP", "FSI", "DGEMM"
     );
-    println!("{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}", "", "Gflop/s", "Gflop/s", "Gflop/s", "Gflop/s", "Gflop/s");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "Gflop/s", "Gflop/s", "Gflop/s", "Gflop/s", "Gflop/s"
+    );
 
     for &n_req in &sizes {
         let nx = lattice_side_for(n_req);
@@ -40,40 +55,38 @@ fn main() {
         let pc = hubbard_matrix(nx, l, n as u64, Spin::Up);
         let sel = Selection::new(Pattern::Columns, c, c / 2);
 
-        // Stage rates come from the driver's per-stage profile plus the
-        // global flop counter bracketing each stage; easiest is to run
-        // the stages individually.
-        let fc = FlopCounter::start();
-        let sw = Stopwatch::start();
-        let clustered = fsi_selinv::cls(fsi_runtime::Par::Seq, fsi_runtime::Par::Seq, &pc, c, sel.q);
-        let cls_rate = gflops(fc.elapsed(), sw.seconds());
+        // Stage rates come from span-scoped flop attribution: each stage
+        // runs under its own span, whose `SpanStats` carries exactly the
+        // flops charged inside it (not by unrelated work).
+        let (clustered, cls_rate) = stage_rate("cls", || {
+            fsi_selinv::cls(fsi_runtime::Par::Seq, fsi_runtime::Par::Seq, &pc, c, sel.q)
+        });
 
-        let fc = FlopCounter::start();
-        let sw = Stopwatch::start();
-        let g_red = fsi_selinv::bsofi(fsi_runtime::Par::Seq, fsi_runtime::Par::Seq, &clustered.reduced);
-        let bsofi_rate = gflops(fc.elapsed(), sw.seconds());
+        let (g_red, bsofi_rate) = stage_rate("bsofi", || {
+            fsi_selinv::bsofi(
+                fsi_runtime::Par::Seq,
+                fsi_runtime::Par::Seq,
+                &clustered.reduced,
+            )
+        });
 
-        let fc = FlopCounter::start();
-        let sw = Stopwatch::start();
-        let _sel_out = fsi_selinv::wrap(fsi_runtime::Par::Seq, &pc, &clustered, &g_red, &sel);
-        let wrap_rate = gflops(fc.elapsed(), sw.seconds());
+        let (_sel_out, wrap_rate) = stage_rate("wrap", || {
+            fsi_selinv::wrap(fsi_runtime::Par::Seq, &pc, &clustered, &g_red, &sel)
+        });
 
-        // Whole-pipeline rate.
-        let fc = FlopCounter::start();
-        let sw = Stopwatch::start();
-        let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
-        let fsi_rate = gflops(fc.elapsed(), sw.seconds());
+        // Whole-pipeline rate (the driver opens its own "fsi" span; this
+        // outer one just scopes the rate measurement).
+        let (_, fsi_rate) = stage_rate("fsi-total", || fsi_with_q(Parallelism::Serial, &pc, &sel));
 
         // DGEMM reference: N×N product repeated to ≥ the FSI volume.
         let a = fsi_dense::test_matrix(n, n, 1);
         let bmat = fsi_dense::test_matrix(n, n, 2);
-        let fc = FlopCounter::start();
-        let sw = Stopwatch::start();
-        let reps = 8usize;
-        for _ in 0..reps {
-            std::hint::black_box(fsi_dense::mul(&a, &bmat));
-        }
-        let dgemm_rate = gflops(fc.elapsed(), sw.seconds());
+        let (_, dgemm_rate) = stage_rate("dgemm", || {
+            let reps = 8usize;
+            for _ in 0..reps {
+                std::hint::black_box(fsi_dense::mul(&a, &bmat));
+            }
+        });
 
         println!(
             "{:>6} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
@@ -81,4 +94,5 @@ fn main() {
         );
     }
     println!("\nshape check (paper): BSOFI < CLS ≈ WRP ≈ FSI ≲ DGEMM");
+    export.finish(None);
 }

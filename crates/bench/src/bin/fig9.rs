@@ -14,14 +14,14 @@
 //! Locally we run a scaled-down sweep on in-process ranks and print the
 //! paper-scale feasibility matrix from the Edison memory model.
 
-use fsi_bench::{banner, lattice_side_for, Args};
+use fsi_bench::{banner, init_trace, lattice_side_for, Args};
 use fsi_pcyclic::{BlockBuilder, HubbardParams, SquareLattice};
-use fsi_runtime::FlopCounter;
 use fsi_selinv::multi::{per_rank_bytes, trace_measure, MultiConfig};
 use fsi_selinv::{run_multi, MemoryModel, Pattern};
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("fig9", &args);
     let paper = args.paper_scale();
     let cores = args.get_usize("cores", if paper { 24 } else { 8 });
     let matrices = args.get_usize("matrices", if paper { 96 } else { 16 });
@@ -33,7 +33,10 @@ fn main() {
     let n = nx * nx;
     println!("{matrices} matrices, (N, L, c) = ({n}, {l}, {c}), budget = {cores} 'cores'\n");
 
-    let builder = BlockBuilder::new(SquareLattice::square(nx), HubbardParams::paper_validation(l));
+    let builder = BlockBuilder::new(
+        SquareLattice::square(nx),
+        HubbardParams::paper_validation(l),
+    );
     println!(
         "{:>8} {:>10} {:>12} {:>12} {:>16}",
         "ranks", "threads", "seconds", "Gflop/s", "sum tr G(k,k)"
@@ -41,7 +44,7 @@ fn main() {
     let mut reference: Option<f64> = None;
     let mut splits: Vec<(usize, usize)> = Vec::new();
     for threads in 1..=cores {
-        if cores % threads == 0 {
+        if cores.is_multiple_of(threads) {
             splits.push((cores / threads, threads));
         }
     }
@@ -54,9 +57,12 @@ fn main() {
             pattern: Pattern::Columns,
             seed: 2400,
         };
-        let fc = FlopCounter::start();
+        // The span context propagates into the rank threads, so the
+        // span's flop total covers all ranks of this split.
+        let span = fsi_runtime::trace::span("multi");
         let r = run_multi(&builder, &cfg, &trace_measure);
-        let rate = fc.elapsed() as f64 / r.seconds / 1e9;
+        let stats = span.finish();
+        let rate = stats.flops as f64 / r.seconds / 1e9;
         println!(
             "{:>8} {:>10} {:>12.3} {:>12.2} {:>16.6}",
             ranks, threads, r.seconds, rate, r.global_measurements[0]
@@ -86,11 +92,18 @@ fn main() {
         for (r, _t) in model.configurations() {
             print!(
                 " {:>7}",
-                if model.feasible(r, bytes) { "ok" } else { "OOM" }
+                if model.feasible(r, bytes) {
+                    "ok"
+                } else {
+                    "OOM"
+                }
             );
         }
         println!();
     }
     println!("\nshape check (paper): pure MPI (rightmost) viable only at N = 400;");
-    println!("hybrid splits carry the larger block sizes — matching Fig. 9's feasibility frontier.");
+    println!(
+        "hybrid splits carry the larger block sizes — matching Fig. 9's feasibility frontier."
+    );
+    export.finish(None);
 }

@@ -2,15 +2,16 @@
 //! selection patterns — closed-form predictions next to flop counts
 //! *measured* by the kernels' analytic counters during real runs.
 
-use fsi_bench::{banner, hubbard_matrix, Args};
+use fsi_bench::{banner, hubbard_matrix, init_trace, Args};
 use fsi_pcyclic::Spin;
-use fsi_runtime::FlopCounter;
+use fsi_runtime::trace;
 use fsi_selinv::baselines::explicit_selected;
 use fsi_selinv::flops::{explicit_flops, fsi_flops, fsi_flops_exact, predicted_speedup};
 use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
 
 fn main() {
     let args = Args::parse();
+    let export = init_trace("table_complexity", &args);
     let paper = args.paper_scale();
     let nx = args.get_usize("nx", if paper { 10 } else { 5 });
     let l = args.get_usize("L", if paper { 100 } else { 24 });
@@ -44,12 +45,12 @@ fn main() {
     let pc = hubbard_matrix(nx, l, 7, Spin::Down);
     for p in Pattern::ALL {
         let sel = Selection::new(p, c, q);
-        let fc = FlopCounter::start();
+        let span = trace::span("explicit");
         let _ = explicit_selected(fsi_runtime::Par::Seq, &pc, &sel);
-        let expl_measured = fc.elapsed();
-        let fc = FlopCounter::start();
+        let expl_measured = span.finish().flops;
+        let span = trace::span("fsi-run");
         let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
-        let fsi_measured = fc.elapsed();
+        let fsi_measured = span.finish().flops;
         println!(
             "{:<20} {:>14} {:>14} {:>14} {:>14}",
             p.label(),
@@ -62,4 +63,5 @@ fn main() {
     println!("\n(explicit-form measured counts sit below the closed form for diagonal/subdiagonal");
     println!(" patterns because the baseline memoizes W(k) factorizations across blocks, while");
     println!(" the closed form charges each block its full chain — same convention as the paper.)");
+    export.finish(None);
 }

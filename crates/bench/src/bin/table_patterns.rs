@@ -10,7 +10,10 @@ fn main() {
     let args = Args::parse();
     let l = args.get_usize("L", 100);
     let c = args.get_usize("c", 10);
-    banner("Selected-inversion patterns (paper Sec. II-B table)", args.paper_scale());
+    banner(
+        "Selected-inversion patterns (paper Sec. II-B table)",
+        args.paper_scale(),
+    );
     let b = l / c;
     println!("L = {l}, c = {c}, b = L/c = {b}\n");
     println!(
@@ -37,7 +40,10 @@ fn main() {
     let pc = hubbard_matrix(nx, small_l, 3, Spin::Up);
     let n = nx * nx;
     let full_bytes = (n * small_l) * (n * small_l) * 8;
-    println!("\nmeasured storage, (N, L, c) = ({n}, {small_l}, {small_c}); full inverse = {:.2} KiB:", full_bytes as f64 / 1024.0);
+    println!(
+        "\nmeasured storage, (N, L, c) = ({n}, {small_l}, {small_c}); full inverse = {:.2} KiB:",
+        full_bytes as f64 / 1024.0
+    );
     for p in Pattern::ALL {
         let sel = Selection::new(p, small_c, 1);
         let out = fsi_with_q(Parallelism::Serial, &pc, &sel);

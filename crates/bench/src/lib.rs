@@ -22,8 +22,8 @@
 
 use std::collections::HashMap;
 
-use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi_pcyclic::BlockPCyclic;
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi_runtime::sim::AlgorithmTrace;
 use fsi_runtime::{Par, Stopwatch};
 use fsi_selinv::{Selection, StructuredQr};
@@ -44,6 +44,7 @@ impl Args {
     }
 
     /// Parses an explicit argument list (tests).
+    #[allow(clippy::should_implement_trait)] // not a collection; `FromIterator` would mislead
     pub fn from_iter<I: IntoIterator<Item = String>>(items: I) -> Self {
         let mut kv = HashMap::new();
         let mut flags = Vec::new();
@@ -60,6 +61,13 @@ impl Args {
     /// Whether `--name` was passed.
     pub fn flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
+    }
+
+    /// The value of a `--name=value` flag, if passed.
+    pub fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find_map(|f| f.strip_prefix(name).and_then(|r| r.strip_prefix('=')))
     }
 
     /// `key=value` as usize, with a default.
@@ -234,6 +242,74 @@ pub fn trace_fsi(pc: &BlockPCyclic, selection: &Selection) -> FsiTraces {
         openmp,
         mkl,
         seq_seconds,
+    }
+}
+
+/// Run-report wiring shared by the harness binaries.
+///
+/// [`init_trace`] turns on stage-level span collection so every harness
+/// can report per-stage flop rates from the structured collector (the
+/// `FSI_TRACE=2` environment setting upgrades to kernel-level spans), and
+/// remembers whether the user asked for trace files. [`TraceExport::finish`]
+/// captures the [`fsi_runtime::RunReport`] and, when export was requested
+/// with `FSI_TRACE=…` or `--trace-out=PATH`, writes the NDJSON run report
+/// (see `results/schema.md`) plus a Chrome `trace_event` view next to it.
+pub struct TraceExport {
+    command: String,
+    out: Option<std::path::PathBuf>,
+}
+
+/// Initializes tracing for a harness binary named `command`.
+///
+/// Export defaults to `results/<command>.trace.ndjson` when `FSI_TRACE`
+/// is set (and nonzero); `--trace-out=PATH` overrides the path and forces
+/// export even without the environment variable.
+pub fn init_trace(command: &str, args: &Args) -> TraceExport {
+    use fsi_runtime::trace;
+    if trace::level() == fsi_runtime::TraceLevel::Off {
+        trace::set_level(fsi_runtime::TraceLevel::Stages);
+    }
+    trace::clear();
+    let out = args
+        .flag_value("trace-out")
+        .map(std::path::PathBuf::from)
+        .or_else(|| {
+            std::env::var("FSI_TRACE")
+                .ok()
+                .filter(|v| !v.is_empty() && v != "0")
+                .map(|_| std::path::PathBuf::from(format!("results/{command}.trace.ndjson")))
+        });
+    TraceExport {
+        command: command.to_string(),
+        out,
+    }
+}
+
+impl TraceExport {
+    /// Captures the run report accumulated since [`init_trace`] (or the
+    /// last `finish`), attaches pool utilization when a pool is given,
+    /// and writes the requested trace files.
+    pub fn finish(&self, pool: Option<&fsi_runtime::ThreadPool>) -> fsi_runtime::RunReport {
+        let mut report = fsi_runtime::trace::RunReport::capture(&self.command);
+        if let Some(p) = pool {
+            report = report.with_pool(p);
+        }
+        if let Some(path) = &self.out {
+            let chrome = path.with_extension("json");
+            match report
+                .write_ndjson(path)
+                .and_then(|()| report.write_chrome_trace(&chrome))
+            {
+                Ok(()) => println!(
+                    "
+trace: wrote {} and {}",
+                    path.display(),
+                    chrome.display()
+                ),
+                Err(e) => eprintln!("trace: export failed: {e}"),
+            }
+        }
+        report
     }
 }
 

@@ -95,7 +95,10 @@ mod tests {
             let est = cond1_estimate(&a, &f);
             let truth = cond1(&a).unwrap();
             // Hager is a lower bound, typically within a small factor.
-            assert!(est <= truth * (1.0 + 1e-10), "n={n}: est {est} > true {truth}");
+            assert!(
+                est <= truth * (1.0 + 1e-10),
+                "n={n}: est {est} > true {truth}"
+            );
             assert!(est >= truth / 10.0, "n={n}: est {est} ≪ true {truth}");
         }
     }

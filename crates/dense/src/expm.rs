@@ -200,7 +200,11 @@ mod tests {
         let mut prod = mul(&e, &einv);
         prod.add_diag(-1.0);
         // Condition grows with the norm; allow a generous but finite bound.
-        assert!(prod.max_abs() < 1e-8, "scaled e^A e^-A ≉ I: {}", prod.max_abs());
+        assert!(
+            prod.max_abs() < 1e-8,
+            "scaled e^A e^-A ≉ I: {}",
+            prod.max_abs()
+        );
     }
 
     #[test]

@@ -63,7 +63,40 @@ pub fn gemm(par: Par<'_>, alpha: f64, a: MatRef<'_>, b: MatRef<'_>, beta: f64, c
 ///
 /// # Panics
 /// Panics on dimension mismatch.
+#[allow(clippy::too_many_arguments)] // mirrors BLAS dgemm's argument list
 pub fn gemm_op(
+    par: Par<'_>,
+    alpha: f64,
+    opa: Op,
+    a: MatRef<'_>,
+    opb: Op,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    gemm_op_impl(true, par, alpha, opa, a, opb, b, beta, c)
+}
+
+/// [`gemm_op`] without flop accounting or a kernel span: for kernels (QR's
+/// LARFB) that already charged their own analytic total and use gemm as an
+/// internal detail — charging here too would double-count.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_op_uncounted(
+    par: Par<'_>,
+    alpha: f64,
+    opa: Op,
+    a: MatRef<'_>,
+    opb: Op,
+    b: MatRef<'_>,
+    beta: f64,
+    c: MatMut<'_>,
+) {
+    gemm_op_impl(false, par, alpha, opa, a, opb, b, beta, c)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_op_impl(
+    count: bool,
     par: Par<'_>,
     alpha: f64,
     opa: Op,
@@ -93,7 +126,16 @@ pub fn gemm_op(
         return;
     }
 
-    flops::add_flops(flops::counts::gemm(m, n, k));
+    // Open before charging so the flops land on this kernel's span (the
+    // guard is a no-op below FSI_TRACE=2).
+    let _kernel = if count {
+        let kernel = fsi_runtime::trace::kernel_span("gemm");
+        flops::add_flops(flops::counts::gemm(m, n, k));
+        fsi_runtime::trace::charge_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
+        Some(kernel)
+    } else {
+        None
+    };
 
     let threads = par.threads().min(n).max(1);
     if threads <= 1 {
@@ -328,7 +370,13 @@ mod tests {
 
     #[test]
     fn nn_matches_naive_on_odd_shapes() {
-        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (17, 13, 9), (130, 200, 65), (64, 64, 64)] {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 13, 9),
+            (130, 200, 65),
+            (64, 64, 64),
+        ] {
             let a = test_matrix(m, k, 1);
             let b = test_matrix(k, n, 2);
             let c = mul(&a, &b);
@@ -371,7 +419,16 @@ mod tests {
                 Op::Trans => test_matrix(n, k, 11),
             };
             let mut c = Matrix::zeros(m, n);
-            gemm_op(Par::Seq, 1.0, opa, a.as_ref(), opb, b.as_ref(), 0.0, c.as_mut());
+            gemm_op(
+                Par::Seq,
+                1.0,
+                opa,
+                a.as_ref(),
+                opb,
+                b.as_ref(),
+                0.0,
+                c.as_mut(),
+            );
             assert_close(&c, &naive(opa, &a, opb, &b), 1e-13);
         }
     }
@@ -387,7 +444,16 @@ mod tests {
         // Also with transposes.
         let mut c1 = Matrix::zeros(90, 170);
         let mut c2 = Matrix::zeros(90, 170);
-        gemm_op(Par::Seq, 1.0, Op::Trans, a.as_ref(), Op::NoTrans, seq.as_ref(), 0.0, c1.as_mut());
+        gemm_op(
+            Par::Seq,
+            1.0,
+            Op::Trans,
+            a.as_ref(),
+            Op::NoTrans,
+            seq.as_ref(),
+            0.0,
+            c1.as_mut(),
+        );
         gemm_op(
             Par::Pool(&pool),
             1.0,
@@ -442,13 +508,17 @@ mod tests {
 
     #[test]
     fn flops_are_counted() {
-        fsi_runtime::reset_flops();
+        use fsi_runtime::trace;
+        let _lock = trace::test_lock();
+        trace::set_level(fsi_runtime::TraceLevel::Kernels);
+        let span = trace::span("gemm-test");
         let a = test_matrix(10, 20, 50);
         let b = test_matrix(20, 30, 51);
-        let before = fsi_runtime::flop_count();
         let _ = mul(&a, &b);
-        let counted = fsi_runtime::flop_count() - before;
-        assert_eq!(counted, 2 * 10 * 20 * 30);
+        let stats = span.finish();
+        trace::set_level(fsi_runtime::TraceLevel::Off);
+        trace::clear();
+        assert_eq!(stats.flops, 2 * 10 * 20 * 30);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! shape to the paper's MKL numbers.
 
 #![warn(missing_docs)]
+// index loops mirror the BLAS/LAPACK algorithms they implement.
+#![allow(clippy::needless_range_loop)]
 
 pub mod blas;
 pub mod cond;

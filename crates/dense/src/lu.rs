@@ -49,6 +49,7 @@ pub fn getrf(a: Matrix) -> Result<LuFactor> {
 /// GEMM updates.
 pub fn getrf_par(par: Par<'_>, mut a: Matrix) -> Result<LuFactor> {
     assert!(a.is_square(), "getrf expects a square matrix");
+    let _kernel = fsi_runtime::trace::kernel_span("getrf");
     let n = a.rows();
     let mut piv = vec![0usize; n];
     let mut perm_sign = 1.0;
@@ -248,6 +249,7 @@ impl LuFactor {
     /// Explicit inverse `A⁻¹` (GETRI-style, via solves against the
     /// identity).
     pub fn inverse(&self) -> Matrix {
+        let _kernel = fsi_runtime::trace::kernel_span("getri");
         flops::add_flops(flops::counts::getri(self.n()));
         let mut x = Matrix::identity(self.n());
         self.solve_in_place(x.as_mut());
@@ -449,12 +451,17 @@ mod tests {
 
     #[test]
     fn flop_accounting_is_close_to_textbook() {
+        use fsi_runtime::trace;
         let n = 96;
         let a = well_conditioned(n, 11);
-        fsi_runtime::reset_flops();
-        let before = fsi_runtime::flop_count();
+        let _lock = trace::test_lock();
+        trace::set_level(fsi_runtime::TraceLevel::Stages);
+        let span = trace::span("getrf-test");
         let _ = getrf(a).unwrap();
-        let counted = (fsi_runtime::flop_count() - before) as f64;
+        let stats = span.finish();
+        trace::set_level(fsi_runtime::TraceLevel::Off);
+        trace::clear();
+        let counted = stats.flops as f64;
         let textbook = flops::counts::getrf(n, n) as f64;
         let ratio = counted / textbook;
         assert!(

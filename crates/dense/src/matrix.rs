@@ -349,7 +349,10 @@ impl<'a> MatRef<'a> {
 
     /// Sub-view starting at `(i, j)` with shape `nr × nc`.
     pub fn submatrix(&self, i: usize, j: usize, nr: usize, nc: usize) -> MatRef<'a> {
-        assert!(i + nr <= self.rows && j + nc <= self.cols, "submatrix out of range");
+        assert!(
+            i + nr <= self.rows && j + nc <= self.cols,
+            "submatrix out of range"
+        );
         MatRef {
             // SAFETY: offset stays within the addressed region by the assert.
             ptr: unsafe { self.ptr.add(i + j * self.ld) },
@@ -506,7 +509,10 @@ impl<'a> MatMut<'a> {
     ///
     /// Consumes `self`; use [`MatMut::rb_mut`] first to keep the original.
     pub fn submatrix(self, i: usize, j: usize, nr: usize, nc: usize) -> MatMut<'a> {
-        assert!(i + nr <= self.rows && j + nc <= self.cols, "submatrix out of range");
+        assert!(
+            i + nr <= self.rows && j + nc <= self.cols,
+            "submatrix out of range"
+        );
         MatMut {
             // SAFETY: offset stays inside the addressed region by the assert.
             ptr: unsafe { self.ptr.add(i + j * self.ld) },

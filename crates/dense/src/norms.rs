@@ -32,7 +32,11 @@ pub fn frobenius(a: &Matrix) -> f64 {
 /// Relative Frobenius distance `‖A − B‖_F / max(‖B‖_F, ε)` — the metric the
 /// paper's §V-A validation uses per block.
 pub fn rel_error(a: &Matrix, b: &Matrix) -> f64 {
-    assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()), "rel_error shapes");
+    assert_eq!(
+        (a.rows(), a.cols()),
+        (b.rows(), b.cols()),
+        "rel_error shapes"
+    );
     let mut d = a.clone();
     d.sub_assign(b);
     frobenius(&d) / frobenius(b).max(f64::MIN_POSITIVE)

@@ -13,7 +13,7 @@
 //! diagonal of the factored matrix, `R` in the upper triangle.
 
 use crate::blas::{gemv_t, ger, nrm2};
-use crate::gemm::{gemm_op, Op};
+use crate::gemm::{gemm_op_uncounted, Op};
 use crate::matrix::{MatMut, Matrix};
 use fsi_runtime::{flops, Par};
 
@@ -40,6 +40,7 @@ pub struct QrFactor {
 pub fn geqrf(a: Matrix) -> QrFactor {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "geqrf requires m >= n (got {m} x {n})");
+    let _kernel = fsi_runtime::trace::kernel_span("geqrf");
     flops::add_flops(flops::counts::geqrf(m, n));
     let mut qr = a;
     let mut tau = vec![0.0; n];
@@ -176,6 +177,7 @@ impl QrFactor {
             Side::Left => c.cols(),
             Side::Right => c.rows(),
         };
+        let _kernel = fsi_runtime::trace::kernel_span("ormqr");
         flops::add_flops(flops::counts::ormqr(m, k, other_dim));
         // Block order: LARFB applies H_{i0}⋯H_{i0+kb−1} together.
         //   left  & trans  (QᵀC): forward          (H_0 first)
@@ -269,13 +271,33 @@ fn build_vt(qr: &Matrix, tau: &[f64], i0: usize, kb: usize) -> (Matrix, Matrix) 
 fn larfb_left(par: Par<'_>, v: &Matrix, t: &Matrix, trans: bool, mut c: MatMut<'_>) {
     let kb = v.cols();
     let n = c.cols();
+    // The enclosing GEQRF/ORMQR already charged its analytic flop total,
+    // so these internal products must not charge again (uncounted).
     // W := Vᵀ·C  (kb × n)
     let mut w = Matrix::zeros(kb, n);
-    gemm_op(par, 1.0, Op::Trans, v.as_ref(), Op::NoTrans, c.as_ref(), 0.0, w.as_mut());
+    gemm_op_uncounted(
+        par,
+        1.0,
+        Op::Trans,
+        v.as_ref(),
+        Op::NoTrans,
+        c.as_ref(),
+        0.0,
+        w.as_mut(),
+    );
     // W := op(T)·W  (small triangular multiply, in place).
     trmm_upper(t, trans, &mut w);
     // C := C − V·W
-    gemm_op(par, -1.0, Op::NoTrans, v.as_ref(), Op::NoTrans, w.as_ref(), 1.0, c.rb_mut());
+    gemm_op_uncounted(
+        par,
+        -1.0,
+        Op::NoTrans,
+        v.as_ref(),
+        Op::NoTrans,
+        w.as_ref(),
+        1.0,
+        c.rb_mut(),
+    );
 }
 
 /// `C := C·(I − V·op(T)·Vᵀ)` — LARFB, right side.
@@ -284,12 +306,30 @@ fn larfb_right(par: Par<'_>, v: &Matrix, t: &Matrix, trans: bool, mut c: MatMut<
     let rows = c.rows();
     // W := C·V  (rows × kb)
     let mut w = Matrix::zeros(rows, kb);
-    gemm_op(par, 1.0, Op::NoTrans, c.as_ref(), Op::NoTrans, v.as_ref(), 0.0, w.as_mut());
+    gemm_op_uncounted(
+        par,
+        1.0,
+        Op::NoTrans,
+        c.as_ref(),
+        Op::NoTrans,
+        v.as_ref(),
+        0.0,
+        w.as_mut(),
+    );
     // W := W·op(T): equivalently Wᵀ := op(T)ᵀ·Wᵀ; apply on the transposed
     // triangle orientation.
     trmm_upper_right(t, trans, &mut w);
     // C := C − W·Vᵀ
-    gemm_op(par, -1.0, Op::NoTrans, w.as_ref(), Op::Trans, v.as_ref(), 1.0, c.rb_mut());
+    gemm_op_uncounted(
+        par,
+        -1.0,
+        Op::NoTrans,
+        w.as_ref(),
+        Op::Trans,
+        v.as_ref(),
+        1.0,
+        c.rb_mut(),
+    );
 }
 
 /// `W := op(T)·W` with `T` small upper triangular.
@@ -354,7 +394,7 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::gemm::{mul, test_matrix};
+    use crate::gemm::{gemm_op, mul, test_matrix};
 
     fn assert_small(m: &Matrix, tol: f64, what: &str) {
         assert!(m.max_abs() < tol, "{what}: {} >= {tol}", m.max_abs());
@@ -362,11 +402,20 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_a() {
-        for &(m, n) in &[(1, 1), (5, 3), (8, 8), (40, 40), (64, 32), (70, 70), (37, 36)] {
+        for &(m, n) in &[
+            (1, 1),
+            (5, 3),
+            (8, 8),
+            (40, 40),
+            (64, 32),
+            (70, 70),
+            (37, 36),
+        ] {
             let a = test_matrix(m, n, (m * n) as u64);
             let f = geqrf(a.clone());
             let q = f.q();
-            let r_full = Matrix::from_fn(m, n, |i, j| if i <= j { f.packed()[(i, j)] } else { 0.0 });
+            let r_full =
+                Matrix::from_fn(m, n, |i, j| if i <= j { f.packed()[(i, j)] } else { 0.0 });
             let mut resid = mul(&q, &r_full);
             resid.sub_assign(&a);
             assert_small(&resid, 1e-12 * (m as f64), &format!("QR−A for {m}x{n}"));
@@ -379,7 +428,16 @@ mod tests {
         let f = geqrf(a);
         let q = f.q();
         let mut qtq = Matrix::zeros(50, 50);
-        gemm_op(Par::Seq, 1.0, Op::Trans, q.as_ref(), Op::NoTrans, q.as_ref(), 0.0, qtq.as_mut());
+        gemm_op(
+            Par::Seq,
+            1.0,
+            Op::Trans,
+            q.as_ref(),
+            Op::NoTrans,
+            q.as_ref(),
+            0.0,
+            qtq.as_mut(),
+        );
         qtq.add_diag(-1.0);
         assert_small(&qtq, 1e-12, "QᵀQ − I");
     }
@@ -414,7 +472,16 @@ mod tests {
         let mut c = c0.clone();
         f.apply_qt_left(Par::Seq, c.as_mut());
         let mut want = Matrix::zeros(m, 17);
-        gemm_op(Par::Seq, 1.0, Op::Trans, q.as_ref(), Op::NoTrans, c0.as_ref(), 0.0, want.as_mut());
+        gemm_op(
+            Par::Seq,
+            1.0,
+            Op::Trans,
+            q.as_ref(),
+            Op::NoTrans,
+            c0.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
         let mut d = c.clone();
         d.sub_assign(&want);
         assert_small(&d, 1e-12, "QᵀC");
@@ -436,7 +503,16 @@ mod tests {
         let mut c = c0r.clone();
         f.apply_qt_right(Par::Seq, c.as_mut());
         let mut want = Matrix::zeros(17, m);
-        gemm_op(Par::Seq, 1.0, Op::NoTrans, c0r.as_ref(), Op::Trans, q.as_ref(), 0.0, want.as_mut());
+        gemm_op(
+            Par::Seq,
+            1.0,
+            Op::NoTrans,
+            c0r.as_ref(),
+            Op::Trans,
+            q.as_ref(),
+            0.0,
+            want.as_mut(),
+        );
         let mut d = c.clone();
         d.sub_assign(&want);
         assert_small(&d, 1e-12, "CQᵀ");
@@ -477,7 +553,16 @@ mod tests {
         let qt = f.q_thin();
         assert_eq!((qt.rows(), qt.cols()), (30, 12));
         let mut g = Matrix::zeros(12, 12);
-        gemm_op(Par::Seq, 1.0, Op::Trans, qt.as_ref(), Op::NoTrans, qt.as_ref(), 0.0, g.as_mut());
+        gemm_op(
+            Par::Seq,
+            1.0,
+            Op::Trans,
+            qt.as_ref(),
+            Op::NoTrans,
+            qt.as_ref(),
+            0.0,
+            g.as_mut(),
+        );
         g.add_diag(-1.0);
         assert_small(&g, 1e-12, "thin Q orthonormality");
     }

@@ -28,6 +28,7 @@ const TB: usize = 48;
 /// Panics unless `L` is square with side `B.rows()`.
 pub fn solve_unit_lower(l: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(l, b.rows());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.cols();
     let mut j0 = 0;
     while j0 < n {
@@ -68,6 +69,7 @@ fn solve_unit_lower_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
 /// Panics on shape mismatch or an exactly zero diagonal entry.
 pub fn solve_upper(u: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(u, b.rows());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.cols();
     // Walk the diagonal blocks bottom-up.
     let mut j1 = n;
@@ -109,6 +111,7 @@ fn solve_upper_unblocked(u: MatRef<'_>, mut b: MatMut<'_>) {
 /// Solves `Lᵀ·X = B` in place with `L` unit lower triangular.
 pub fn solve_unit_lower_trans(l: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(l, b.rows());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.cols();
     // Lᵀ is upper triangular: walk the diagonal blocks bottom-up; the
     // off-diagonal update uses (Lᵀ)[..j0, j0..j1] = L[j0..j1, ..j0]ᵀ.
@@ -124,7 +127,16 @@ pub fn solve_unit_lower_trans(l: MatRef<'_>, mut b: MatMut<'_>) {
             let left = l.submatrix(j0, 0, tb, j0);
             let (rest, bottom) = b.rb_mut().split_at_row(j0);
             let solved = bottom.as_ref().submatrix(0, 0, tb, nrhs);
-            gemm_op(Par::Seq, -1.0, Op::Trans, left, Op::NoTrans, solved, 1.0, rest);
+            gemm_op(
+                Par::Seq,
+                -1.0,
+                Op::Trans,
+                left,
+                Op::NoTrans,
+                solved,
+                1.0,
+                rest,
+            );
         }
         j1 = j0;
     }
@@ -147,6 +159,7 @@ fn solve_unit_lower_trans_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
 /// Panics on shape mismatch or an exactly zero diagonal entry.
 pub fn solve_upper_trans(u: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(u, b.rows());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.cols();
     // Uᵀ is lower triangular: walk top-down; the off-diagonal update uses
     // (Uᵀ)[j1.., j0..j1] = U[j0..j1, j1..]ᵀ.
@@ -161,7 +174,16 @@ pub fn solve_upper_trans(u: MatRef<'_>, mut b: MatMut<'_>) {
             let right = u.submatrix(j0, j0 + tb, tb, n - j0 - tb);
             let (top, rest) = b.rb_mut().split_at_row(j0 + tb);
             let solved = top.as_ref().submatrix(j0, 0, tb, nrhs);
-            gemm_op(Par::Seq, -1.0, Op::Trans, right, Op::NoTrans, solved, 1.0, rest);
+            gemm_op(
+                Par::Seq,
+                -1.0,
+                Op::Trans,
+                right,
+                Op::NoTrans,
+                solved,
+                1.0,
+                rest,
+            );
         }
         j0 += tb;
     }
@@ -187,7 +209,6 @@ fn gemm_raw(a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
     crate::gemm::gemm(Par::Seq, -1.0, a, b, 1.0, c);
 }
 
-
 /// Solves `X·U = B` in place (`B := B·U⁻¹`) with `U` upper triangular
 /// (non-unit). Right-side solves keep the wrapping relation
 /// `G(k,ℓ+1) = G(k,ℓ)·B⁻¹` transpose-free and GEMM-rich.
@@ -196,6 +217,7 @@ fn gemm_raw(a: MatRef<'_>, b: MatRef<'_>, c: MatMut<'_>) {
 /// Panics on shape mismatch or an exactly zero diagonal entry.
 pub fn solve_upper_right(u: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(u, b.cols());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.rows();
     // Column blocks left-to-right: solve X[:, j0..j1]·U[j0..j1, j0..j1] =
     // B[:, j0..j1] − X[:, ..j0]·U[..j0, j0..j1].
@@ -244,6 +266,7 @@ fn solve_upper_right_unblocked(u: MatRef<'_>, mut b: MatMut<'_>) {
 /// Panics on shape mismatch.
 pub fn solve_unit_lower_right(l: MatRef<'_>, mut b: MatMut<'_>) {
     let n = check_square(l, b.cols());
+    let _kernel = fsi_runtime::trace::kernel_span("trsm");
     let nrhs = b.rows();
     // Column blocks right-to-left: X[:, j0..j1] = B[:, j0..j1] −
     // X[:, j1..]·L[j1.., j0..j1], then the diagonal triangle.
@@ -290,6 +313,7 @@ fn solve_unit_lower_right_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
 pub fn invert_upper(mut u: MatMut<'_>) {
     let n = u.rows();
     assert_eq!(u.cols(), n, "invert_upper needs a square matrix");
+    let _kernel = fsi_runtime::trace::kernel_span("trtri");
     flops::add_flops(flops::counts::trtri(n) * 2);
     // Column-oriented TRTRI: for each column j compute X[0..j, j] from the
     // already-inverted leading triangle.

@@ -2,9 +2,7 @@
 //! orthogonality, solve identities, and exponential laws on arbitrary
 //! well-conditioned inputs.
 
-use fsi_dense::{
-    expm, geqrf, getrf, gemm_op, mul, rel_error, solve, test_matrix, Matrix, Op,
-};
+use fsi_dense::{expm, gemm_op, geqrf, getrf, mul, rel_error, solve, test_matrix, Matrix, Op};
 use fsi_runtime::Par;
 use proptest::prelude::*;
 

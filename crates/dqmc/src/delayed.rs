@@ -215,7 +215,10 @@ mod tests {
         }
         // diag/col/row views equal the immediately-updated matrix.
         for i in 0..n {
-            assert!((acc.diag(&g, i) - g_check[(i, i)]).abs() < 1e-12, "diag {i}");
+            assert!(
+                (acc.diag(&g, i) - g_check[(i, i)]).abs() < 1e-12,
+                "diag {i}"
+            );
             let mut col = vec![0.0; n];
             acc.col(&g, i, &mut col);
             let mut row = vec![0.0; n];

@@ -19,6 +19,8 @@
 //!   per-phase timing decomposition of Figs. 10–11.
 
 #![warn(missing_docs)]
+// index loops mirror the site/slice indexing of the algorithms.
+#![allow(clippy::needless_range_loop)]
 
 pub mod delayed;
 pub mod meas;

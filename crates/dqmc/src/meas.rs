@@ -81,11 +81,7 @@ pub fn equal_time(lattice: &SquareLattice, t: f64, g_up: &Matrix, g_dn: &Matrix)
 
 /// Equal-time z-spin correlation `⟨S^z_i S^z_j⟩` per displacement class,
 /// from one slice's diagonal blocks (Wick-decomposed per configuration).
-pub fn spin_zz_equal_time(
-    lattice: &SquareLattice,
-    g_up: &Matrix,
-    g_dn: &Matrix,
-) -> Vec<f64> {
+pub fn spin_zz_equal_time(lattice: &SquareLattice, g_up: &Matrix, g_dn: &Matrix) -> Vec<f64> {
     let n = lattice.n_sites();
     let classes = lattice.n_dist_classes();
     let mut acc = vec![0.0f64; classes];
@@ -253,8 +249,6 @@ pub fn spxx(
     table
 }
 
-
-
 /// Equal-time z-spin correlation resolved by the full signed
 /// displacement `r = (dx, dy) ∈ [0, nx) × [0, ny)` (not folded into
 /// minimum-image classes): `C(r) = (1/N)·Σ_i ⟨Sᶻᵢ·Sᶻ_{i+r}⟩`.
@@ -262,11 +256,7 @@ pub fn spxx(
 /// This is the input of the momentum-space structure factor; translation
 /// invariance (restored by the Monte Carlo average) makes the single-`i`
 /// sum sufficient.
-pub fn spin_zz_by_displacement(
-    lattice: &SquareLattice,
-    g_up: &Matrix,
-    g_dn: &Matrix,
-) -> Matrix {
+pub fn spin_zz_by_displacement(lattice: &SquareLattice, g_up: &Matrix, g_dn: &Matrix) -> Matrix {
     let n = lattice.n_sites();
     let (nx, ny) = (lattice.nx(), lattice.ny());
     let mut c = Matrix::zeros(nx, ny);
@@ -323,7 +313,7 @@ pub fn structure_factor_q(c_of_r: &Matrix) -> Matrix {
 /// Panics for odd lattice extents (staggering is ill-defined).
 pub fn staggered_structure_factor(lattice: &SquareLattice, zz_per_class: &[f64]) -> f64 {
     assert!(
-        lattice.nx() % 2 == 0 && lattice.ny() % 2 == 0,
+        lattice.nx().is_multiple_of(2) && lattice.ny().is_multiple_of(2),
         "staggered structure factor needs even extents"
     );
     assert_eq!(zz_per_class.len(), lattice.n_dist_classes());
@@ -483,7 +473,13 @@ mod tests {
         // A perfectly staggered correlation: zz = +1 on even-parity
         // classes, −1 on odd ones → S(π,π) = Σ counts / N = N.
         let zz: Vec<f64> = (0..classes)
-            .map(|d| if (d % w + d / w) % 2 == 0 { 1.0 } else { -1.0 })
+            .map(|d| {
+                if (d % w + d / w).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let s = staggered_structure_factor(&lat, &zz);
         assert!((s - lat.n_sites() as f64).abs() < 1e-12, "S = {s}");
@@ -540,9 +536,16 @@ mod tests {
         let mut sels = Vec::new();
         for spin in Spin::BOTH {
             let pc = hubbard_pcyclic(&builder, &field, spin);
-            let rows = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Rows, c, q));
-            let cols =
-                fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Columns, c, q));
+            let rows = fsi_with_q(
+                Parallelism::Serial,
+                &pc,
+                &Selection::new(Pattern::Rows, c, q),
+            );
+            let cols = fsi_with_q(
+                Parallelism::Serial,
+                &pc,
+                &Selection::new(Pattern::Columns, c, q),
+            );
             let mut merged = rows.selected;
             merged.merge(cols.selected);
             sels.push(merged);
@@ -581,9 +584,16 @@ mod tests {
         let mut sels = Vec::new();
         for spin in Spin::BOTH {
             let pc = hubbard_pcyclic(&builder, &field, spin);
-            let rows = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Rows, 4, 0));
-            let cols =
-                fsi_with_q(Parallelism::Serial, &pc, &Selection::new(Pattern::Columns, 4, 0));
+            let rows = fsi_with_q(
+                Parallelism::Serial,
+                &pc,
+                &Selection::new(Pattern::Rows, 4, 0),
+            );
+            let cols = fsi_with_q(
+                Parallelism::Serial,
+                &pc,
+                &Selection::new(Pattern::Columns, 4, 0),
+            );
             let mut merged = rows.selected;
             merged.merge(cols.selected);
             sels.push(merged);

@@ -16,19 +16,17 @@
 //! and `"measurement"`, which is exactly the decomposition Figs. 10–11
 //! plot.
 
-use fsi_pcyclic::{
-    hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice,
-};
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi_runtime::{Profile, Stopwatch};
 use fsi_selinv::fsi::fsi_measurement_set;
 use fsi_selinv::{Parallelism, SelectedInverse};
 use rand::Rng;
-use rand_chacha::ChaCha8Rng;
 use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 use crate::meas::{
-    equal_time, spin_zz_equal_time, spxx, staggered_structure_factor,
-    uniform_xy_susceptibility, Accumulator, SpxxTable,
+    equal_time, spin_zz_equal_time, spxx, staggered_structure_factor, uniform_xy_susceptibility,
+    Accumulator, SpxxTable,
 };
 use crate::sweep::{SweepConfig, Sweeper};
 
@@ -129,6 +127,7 @@ pub struct DqmcResults {
 /// assert!((results.density.mean() - 1.0).abs() < 0.2);
 /// ```
 pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
+    let _dqmc_span = fsi_runtime::trace::span("dqmc");
     let lattice = SquareLattice::new(cfg.nx, cfg.ny);
     let builder = BlockBuilder::new(lattice.clone(), cfg.params());
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
@@ -154,36 +153,38 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
 
     // Warmup stage.
     for _ in 0..cfg.warmup {
-        let sw = Stopwatch::start();
-        let stats = sweeper.sweep(&mut rng, par);
-        results.profile.add("sweep", sw.elapsed());
+        let stats = results
+            .profile
+            .time("sweep", || sweeper.sweep(&mut rng, par));
         results.acceptance.push(stats.acceptance());
     }
 
     // Measurement stage.
     let (outer, _inner) = par.split();
     for _ in 0..cfg.measurements {
-        let sw = Stopwatch::start();
-        let stats = sweeper.sweep(&mut rng, par);
-        results.profile.add("sweep", sw.elapsed());
+        let stats = results
+            .profile
+            .time("sweep", || sweeper.sweep(&mut rng, par));
         results.acceptance.push(stats.acceptance());
 
         // Green's functions: all diagonals + b rows + b cols, both spins,
         // sharing one clustering/BSOFI per spin (paper §V-C's selection).
-        let sw = Stopwatch::start();
         let q = rng.gen_range(0..cfg.c);
-        let mut selections: Vec<SelectedInverse> = Vec::with_capacity(2);
-        let mut diag_blocks: Vec<SelectedInverse> = Vec::with_capacity(2);
-        for spin in Spin::BOTH {
-            let pc = hubbard_pcyclic(&builder, sweeper.field(), spin);
-            let (merged, diags) = fsi_measurement_set(par, &pc, cfg.c, q);
-            diag_blocks.push(diags);
-            selections.push(merged);
-        }
-        results.profile.add("green", sw.elapsed());
+        let (selections, diag_blocks) = results.profile.time("green", || {
+            let mut selections: Vec<SelectedInverse> = Vec::with_capacity(2);
+            let mut diag_blocks: Vec<SelectedInverse> = Vec::with_capacity(2);
+            for spin in Spin::BOTH {
+                let pc = hubbard_pcyclic(&builder, sweeper.field(), spin);
+                let (merged, diags) = fsi_measurement_set(par, &pc, cfg.c, q);
+                diag_blocks.push(diags);
+                selections.push(merged);
+            }
+            (selections, diag_blocks)
+        });
 
         // Physical measurements.
         let sw = Stopwatch::start();
+        let meas_span = fsi_runtime::trace::span("measurement");
         let mut et_sum = crate::meas::EqualTime::default();
         for k in 0..cfg.l {
             let gu = diag_blocks[0].get(k, k).expect("diagonal block");
@@ -196,7 +197,9 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
             et_sum.kinetic += et.kinetic;
         }
         let lf = cfg.l as f64;
-        results.density.push((et_sum.density_up + et_sum.density_down) / lf);
+        results
+            .density
+            .push((et_sum.density_up + et_sum.density_down) / lf);
         results.double_occupancy.push(et_sum.double_occupancy / lf);
         results.moment.push(et_sum.moment / lf);
         results.kinetic.push(et_sum.kinetic / lf);
@@ -204,7 +207,7 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
 
         // Structure factor S(π,π) from the slice-averaged zz correlation
         // (even extents only — staggering is ill-defined otherwise).
-        if cfg.nx % 2 == 0 && cfg.ny % 2 == 0 {
+        if cfg.nx.is_multiple_of(2) && cfg.ny.is_multiple_of(2) {
             let mut zz_acc = vec![0.0; lattice.n_dist_classes()];
             for k in 0..cfg.l {
                 let gu = diag_blocks[0].get(k, k).expect("diagonal block");
@@ -219,13 +222,16 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
         }
 
         let table = spxx(outer, &lattice, cfg.l, &selections[0], &selections[1]);
-        results
-            .susceptibility
-            .push(uniform_xy_susceptibility(&lattice, &table, cfg.beta / cfg.l as f64));
+        results.susceptibility.push(uniform_xy_susceptibility(
+            &lattice,
+            &table,
+            cfg.beta / cfg.l as f64,
+        ));
         match &mut results.spxx {
             Some(acc) => acc.merge(&table),
             None => results.spxx = Some(table),
         }
+        drop(meas_span);
         results.profile.add("measurement", sw.elapsed());
     }
     if let Some(t) = &mut results.spxx {
@@ -253,7 +259,11 @@ mod tests {
             r.density.mean()
         );
         // Repulsive U suppresses double occupancy below the free 0.25.
-        assert!(r.double_occupancy.mean() < 0.26, "docc {}", r.double_occupancy.mean());
+        assert!(
+            r.double_occupancy.mean() < 0.26,
+            "docc {}",
+            r.double_occupancy.mean()
+        );
         assert!(r.moment.mean() > 0.4, "moment {}", r.moment.mean());
         assert!(r.kinetic.mean() < 0.0, "kinetic {}", r.kinetic.mean());
         // No sign problem at half filling.

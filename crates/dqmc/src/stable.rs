@@ -36,13 +36,15 @@ pub fn equal_time_green_stable(
     c: usize,
 ) -> Matrix {
     let l = pc.l();
-    assert!(l % c == 0, "cluster size must divide L");
+    assert!(l.is_multiple_of(c), "cluster size must divide L");
     assert!(k < l, "slice index out of range");
     let o = k % c;
     let q = c - 1 - o;
     let clustered = cls(par_outer, par_inner, pc, c, q);
     let g_reduced = bsofi(par_outer, par_inner, &clustered.reduced);
-    let k0 = clustered.to_reduced(k).expect("k is a seed row by construction");
+    let k0 = clustered
+        .to_reduced(k)
+        .expect("k is a seed row by construction");
     clustered.reduced.dense_block(&g_reduced, k0, k0)
 }
 
@@ -58,7 +60,7 @@ mod tests {
     use super::*;
     use fsi_dense::rel_error;
     use fsi_pcyclic::{
-        hubbard_pcyclic, random_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice, Spin,
+        hubbard_pcyclic, random_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice,
     };
     use rand::SeedableRng;
 
@@ -111,6 +113,9 @@ mod tests {
             err_stable <= err_naive * 1.5 + 1e-12,
             "stable {err_stable} vs naive {err_naive}"
         );
-        assert!(err_stable < 1e-6, "stable route stays accurate: {err_stable}");
+        assert!(
+            err_stable < 1e-6,
+            "stable route stays accurate: {err_stable}"
+        );
     }
 }

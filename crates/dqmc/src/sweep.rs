@@ -96,8 +96,16 @@ impl<'a> Sweeper<'a> {
     /// Creates a sweeper positioned at slice 0 (Green's functions
     /// computed from scratch).
     pub fn new(builder: &'a BlockBuilder, field: HsField, cfg: SweepConfig) -> Self {
-        assert_eq!(field.slices(), builder.params().l, "field/params L mismatch");
-        assert_eq!(field.sites(), builder.lattice().n_sites(), "field/lattice N mismatch");
+        assert_eq!(
+            field.slices(),
+            builder.params().l,
+            "field/params L mismatch"
+        );
+        assert_eq!(
+            field.sites(),
+            builder.lattice().n_sites(),
+            "field/lattice N mismatch"
+        );
         let n = field.sites();
         let mut s = Sweeper {
             builder,
@@ -438,7 +446,11 @@ mod tests {
             let mut s = Sweeper::new(&builder, field.clone(), cfg);
             let mut rng = ChaCha8Rng::seed_from_u64(500);
             let stats = s.sweep(&mut rng, Parallelism::Serial);
-            (stats.accepted, s.field().to_flat(), s.green(Spin::Up).clone())
+            (
+                stats.accepted,
+                s.field().to_flat(),
+                s.green(Spin::Up).clone(),
+            )
         };
         let (acc1, field1, g1) = run(1);
         for delay in [2usize, 4, 16] {

@@ -27,8 +27,15 @@ fn free_fermion_limit_is_exact() {
     };
     let r = run(&cfg, Parallelism::Serial);
     // Half filling exactly.
-    assert!((r.density.mean() - 1.0).abs() < 1e-10, "density {}", r.density.mean());
-    assert!(r.density.stderr() < 1e-10, "free density must not fluctuate");
+    assert!(
+        (r.density.mean() - 1.0).abs() < 1e-10,
+        "density {}",
+        r.density.mean()
+    );
+    assert!(
+        r.density.stderr() < 1e-10,
+        "free density must not fluctuate"
+    );
     // Double occupancy is exactly n↑·n↓ = 0.25.
     assert!((r.double_occupancy.mean() - 0.25).abs() < 1e-10);
     // Moment exactly 0.5.
@@ -77,7 +84,10 @@ fn single_site_atomic_limit_matches_exact_diagonalization() {
         r.double_occupancy.mean(),
         r.double_occupancy.stderr()
     );
-    assert!((r.density.mean() - 1.0).abs() < 1e-8, "PH symmetry holds per config");
+    assert!(
+        (r.density.mean() - 1.0).abs() < 1e-8,
+        "PH symmetry holds per config"
+    );
 }
 
 /// Detailed balance smoke test: forward and reverse flips have reciprocal

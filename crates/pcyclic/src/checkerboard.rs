@@ -209,7 +209,11 @@ mod tests {
         let mut a = a0.clone();
         cb.apply_left(&mut a);
         cb.apply_left_inverse(&mut a);
-        assert!(rel_error(&a, &a0) < 1e-14, "B⁻¹B ≠ I: {}", rel_error(&a, &a0));
+        assert!(
+            rel_error(&a, &a0) < 1e-14,
+            "B⁻¹B ≠ I: {}",
+            rel_error(&a, &a0)
+        );
     }
 
     #[test]

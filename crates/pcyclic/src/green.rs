@@ -70,7 +70,9 @@ pub fn z_matrix(par: Par<'_>, pc: &BlockPCyclic, k: usize, l: usize) -> Matrix {
 pub fn green_block_explicit(par: Par<'_>, pc: &BlockPCyclic, k: usize, l: usize) -> Matrix {
     let w = w_matrix(par, pc, k);
     let z = z_matrix(par, pc, k, l);
-    getrf(w).expect("W(k) nonsingular for valid Hubbard matrices").solve(&z)
+    getrf(w)
+        .expect("W(k) nonsingular for valid Hubbard matrices")
+        .solve(&z)
 }
 
 /// The equal-time Green's function `G(k, k) = W(k)⁻¹` by the explicit

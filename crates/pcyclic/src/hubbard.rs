@@ -106,7 +106,11 @@ impl HsField {
     pub fn random<R: Rng + ?Sized>(l: usize, n: usize, rng: &mut R) -> Self {
         HsField {
             h: (0..l)
-                .map(|_| (0..n).map(|_| if rng.gen::<bool>() { 1 } else { -1 }).collect())
+                .map(|_| {
+                    (0..n)
+                        .map(|_| if rng.gen::<bool>() { 1 } else { -1 })
+                        .collect()
+                })
                 .collect(),
         }
     }
@@ -154,7 +158,9 @@ impl HsField {
             "HS field entries must be ±1"
         );
         HsField {
-            h: (0..l).map(|li| flat[li * n..(li + 1) * n].to_vec()).collect(),
+            h: (0..l)
+                .map(|li| flat[li * n..(li + 1) * n].to_vec())
+                .collect(),
         }
     }
 }
@@ -244,7 +250,9 @@ impl BlockBuilder {
 
     /// Builds all `L` blocks for one spin (the input to a p-cyclic matrix).
     pub fn all_blocks(&self, field: &HsField, spin: Spin) -> Vec<Matrix> {
-        (0..field.slices()).map(|l| self.block(field, l, spin)).collect()
+        (0..field.slices())
+            .map(|l| self.block(field, l, spin))
+            .collect()
     }
 }
 
@@ -303,7 +311,11 @@ mod tests {
             let inv = b.block_inverse(&h, 3, spin);
             let mut prod = mul(&blk, &inv);
             prod.add_diag(-1.0);
-            assert!(prod.max_abs() < 1e-12, "B·B⁻¹ ≉ I ({spin:?}): {}", prod.max_abs());
+            assert!(
+                prod.max_abs() < 1e-12,
+                "B·B⁻¹ ≉ I ({spin:?}): {}",
+                prod.max_abs()
+            );
         }
     }
 
@@ -314,7 +326,11 @@ mod tests {
         let h = HsField::random(8, 16, &mut rng);
         let spin = Spin::Down;
         // Explicit: expK · diag(e^{σν h}).
-        let d: Vec<f64> = h.row(2).iter().map(|&x| (spin.sign() * b.nu() * x).exp()).collect();
+        let d: Vec<f64> = h
+            .row(2)
+            .iter()
+            .map(|&x| (spin.sign() * b.nu() * x).exp())
+            .collect();
         let want = mul(b.exp_k(), &Matrix::diag(&d));
         let got = b.block(&h, 2, spin);
         assert!(rel_error(&got, &want) < 1e-15);

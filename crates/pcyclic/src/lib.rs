@@ -18,6 +18,8 @@
 //!   dense hopping exponential, with exact inverse and O(N) application.
 
 #![warn(missing_docs)]
+// index loops mirror the lattice/slice indexing of the paper.
+#![allow(clippy::needless_range_loop)]
 
 pub mod checkerboard;
 pub mod green;
@@ -59,7 +61,10 @@ mod tests {
             for k in [0usize, 3, 5] {
                 let blk = green::green_block_explicit(Par::Seq, &pc, k, 2);
                 let want = pc.dense_block(&g_ref, k, 2);
-                assert!(fsi_dense::rel_error(&blk, &want) < 1e-9, "({spin:?}, k={k})");
+                assert!(
+                    fsi_dense::rel_error(&blk, &want) < 1e-9,
+                    "({spin:?}, k={k})"
+                );
             }
         }
     }

@@ -165,7 +165,7 @@ impl Rank {
         self.gather(value, tag).map(|vals| {
             let mut it = vals.into_iter();
             let first = it.next().expect("universe has at least one rank");
-            it.fold(first, |acc, v| op(acc, v))
+            it.fold(first, op)
         })
     }
 
@@ -179,7 +179,6 @@ impl Rank {
         let total = self.reduce(value, tag, op);
         self.broadcast(total, tag ^ ALLREDUCE_PHASE2)
     }
-
 
     /// Binomial-tree broadcast: `O(log₂ size)` rounds instead of the flat
     /// broadcast's `O(size)` sends from the root — the algorithm real MPI
@@ -250,7 +249,7 @@ impl Rank {
     /// `MPI_Barrier`. Implemented as gather + broadcast of unit.
     pub fn barrier(&self, tag: u64) {
         let _ = self.gather((), tag);
-        let _ = self.broadcast(Some(()), tag ^ BARRIER_PHASE2);
+        self.broadcast(Some(()), tag ^ BARRIER_PHASE2);
     }
 }
 
@@ -305,11 +304,15 @@ where
     let body = &body;
     let mut iter = ranks.into_iter();
     let rank0 = iter.next().expect("size > 0");
+    // Rank threads inherit the caller's trace context so their spans and
+    // flop charges attribute to the span enclosing the rank launch.
+    let ctx = crate::trace::current_context();
     std::thread::scope(|s| {
         let handles: Vec<_> = iter
             .map(|rank| {
+                let ctx = ctx.clone();
                 s.spawn(move || {
-                    let r = body(&rank);
+                    let r = crate::trace::with_context(ctx, || body(&rank));
                     (rank.id, r)
                 })
             })
@@ -380,10 +383,7 @@ mod tests {
     #[test]
     fn scatter_gather_roundtrip() {
         let results = run(4, |rank| {
-            let mine: usize = rank.scatter(
-                rank.is_root().then(|| vec![100, 101, 102, 103]),
-                3,
-            );
+            let mine: usize = rank.scatter(rank.is_root().then(|| vec![100, 101, 102, 103]), 3);
             assert_eq!(mine, 100 + rank.id());
             rank.gather(mine * 2, 4)
         });
@@ -399,10 +399,12 @@ mod tests {
 
     #[test]
     fn allreduce_gives_everyone_the_total() {
-        let results = run(3, |rank| rank.allreduce(vec![rank.id() as f64], 11, |mut a, b| {
-            a.extend(b);
-            a
-        }));
+        let results = run(3, |rank| {
+            rank.allreduce(vec![rank.id() as f64], 11, |mut a, b| {
+                a.extend(b);
+                a
+            })
+        });
         for r in results {
             assert_eq!(r, vec![0.0, 1.0, 2.0]);
         }

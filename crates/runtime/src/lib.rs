@@ -23,10 +23,14 @@
 //!   same rates without hardware performance counters.
 //! * [`timing`] — stopwatches and named-section profiles used by the
 //!   figure-regeneration harnesses.
+//! * [`trace`] — structured tracing: hierarchical spans with span-scoped
+//!   flop/byte counters, log-bucket latency histograms, pool utilization,
+//!   and NDJSON / Chrome `trace_event` exporters. Enabled with `FSI_TRACE`
+//!   (`1`/`stages` or `2`/`kernels`); off by default at near-zero cost.
 //!
-//! The crate is dependency-light (crossbeam channels + parking_lot) and has
-//! no knowledge of linear algebra; it sits at the bottom of the workspace
-//! dependency graph.
+//! The crate is dependency-free apart from the vendored channel used by
+//! the pool and has no knowledge of linear algebra; it sits at the bottom
+//! of the workspace dependency graph.
 
 #![warn(missing_docs)]
 
@@ -36,11 +40,14 @@ pub mod parallel;
 pub mod pool;
 pub mod sim;
 pub mod timing;
+pub mod trace;
 
+#[allow(deprecated)] // shims kept for external callers of the old API
 pub use flops::{flop_count, reset_flops, FlopCounter};
 pub use parallel::{parallel_for, parallel_map, Schedule};
-pub use pool::{Par, ScopeHandle, ThreadPool};
+pub use pool::{Par, PoolStats, ScopeHandle, ThreadPool, WorkerStats};
 pub use timing::{Profile, Stopwatch};
+pub use trace::{RunReport, SpanGuard, SpanStats, TraceLevel};
 
 /// Returns the number of hardware threads available to this process.
 ///

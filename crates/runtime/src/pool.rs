@@ -14,8 +14,9 @@
 //! operations, so the helping loop overhead is negligible.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
@@ -53,11 +54,60 @@ impl<'p> Par<'p> {
     }
 }
 
+/// Live utilization counters for one background worker.
+struct WorkerStat {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    jobs: AtomicU64,
+}
+
+/// Snapshot of one background worker's utilization (see
+/// [`ThreadPool::stats`]).
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    /// Time spent executing jobs.
+    pub busy: Duration,
+    /// Time spent waiting for jobs.
+    pub idle: Duration,
+    /// Jobs executed.
+    pub jobs: u64,
+}
+
+impl WorkerStats {
+    /// Fraction of tracked time this worker spent busy (0 if it has not
+    /// been observed yet).
+    pub fn utilization(&self) -> f64 {
+        let total = (self.busy + self.idle).as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.busy.as_secs_f64() / total
+        }
+    }
+}
+
+/// Utilization snapshot of a whole pool (see [`ThreadPool::stats`]).
+///
+/// Covers the `size - 1` background workers; the scope-calling thread's
+/// time shows up in trace spans instead. `queue_depth` is the number of
+/// jobs queued but not yet picked up at snapshot time.
+#[derive(Clone, Debug)]
+pub struct PoolStats {
+    /// One entry per background worker, in spawn order.
+    pub workers: Vec<WorkerStats>,
+    /// Jobs waiting in the shared queue right now.
+    pub queue_depth: usize,
+    /// Total pool size including the scope-calling thread.
+    pub threads: usize,
+}
+
 struct PoolShared {
     tx: Sender<Job>,
     rx: Receiver<Job>,
     /// Set when the pool is dropped so workers exit.
     shutdown: AtomicBool,
+    /// Utilization counters, one per background worker.
+    stats: Vec<WorkerStat>,
 }
 
 /// A fixed-size persistent worker pool.
@@ -95,13 +145,20 @@ impl ThreadPool {
             tx,
             rx,
             shutdown: AtomicBool::new(false),
+            stats: (1..size)
+                .map(|_| WorkerStat {
+                    busy_ns: AtomicU64::new(0),
+                    idle_ns: AtomicU64::new(0),
+                    jobs: AtomicU64::new(0),
+                })
+                .collect(),
         });
         let workers = (1..size)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("fsi-pool-{w}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, w - 1))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -121,6 +178,26 @@ impl ThreadPool {
     /// Total thread count including the scope-calling thread.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// Snapshots worker utilization (busy vs. idle time, jobs executed)
+    /// and the current queue depth. Counters accumulate over the pool's
+    /// lifetime; diff two snapshots to measure a region.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self
+                .shared
+                .stats
+                .iter()
+                .map(|s| WorkerStats {
+                    busy: Duration::from_nanos(s.busy_ns.load(Ordering::Relaxed)),
+                    idle: Duration::from_nanos(s.idle_ns.load(Ordering::Relaxed)),
+                    jobs: s.jobs.load(Ordering::Relaxed),
+                })
+                .collect(),
+            queue_depth: self.shared.rx.len(),
+            threads: self.size,
+        }
     }
 
     /// Runs `f` with a [`ScopeHandle`] on which jobs borrowing from the
@@ -173,16 +250,24 @@ impl Drop for ThreadPool {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, index: usize) {
+    let stat = &shared.stats[index];
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        match shared
-            .rx
-            .recv_timeout(std::time::Duration::from_millis(50))
-        {
-            Ok(job) => job(),
+        let wait = Instant::now();
+        let received = shared.rx.recv_timeout(Duration::from_millis(50));
+        stat.idle_ns
+            .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        match received {
+            Ok(job) => {
+                let run = Instant::now();
+                job();
+                stat.busy_ns
+                    .fetch_add(run.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                stat.jobs.fetch_add(1, Ordering::Relaxed);
+            }
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,
         }
@@ -213,8 +298,13 @@ impl<'scope, 'env> ScopeHandle<'scope, 'env> {
     {
         self.latch.pending.fetch_add(1, Ordering::AcqRel);
         let latch = Arc::clone(&self.latch);
+        // Capture the spawning thread's span context so flops the job
+        // charges are attributed to the stage that launched it (None when
+        // tracing is off — then with_context is a plain call).
+        let ctx = crate::trace::current_context();
         let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
-            if catch_unwind(AssertUnwindSafe(f)).is_err() {
+            let body = || crate::trace::with_context(ctx, f);
+            if catch_unwind(AssertUnwindSafe(body)).is_err() {
                 latch.panicked.store(true, Ordering::Release);
             }
             latch.pending.fetch_sub(1, Ordering::AcqRel);

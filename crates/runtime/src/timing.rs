@@ -47,6 +47,11 @@ impl Default for Stopwatch {
 /// Used to produce the per-stage breakdowns of Fig. 8 (top: CLS / BSOFI /
 /// WRP) and Fig. 10 (Green's function vs. measurement time). Sections are
 /// kept in a `BTreeMap` so report order is deterministic.
+///
+/// `Profile` is a thin adapter over [`crate::trace`]: [`Profile::time`]
+/// also opens a trace span named after the section, so callers that only
+/// consume profiles keep working while the structured collector sees the
+/// same section boundaries (with flop attribution and hierarchy).
 #[derive(Default, Debug, Clone)]
 pub struct Profile {
     sections: BTreeMap<&'static str, (Duration, u64)>,
@@ -58,12 +63,34 @@ impl Profile {
         Self::default()
     }
 
-    /// Times `f` and charges the elapsed wall time to `section`.
+    /// Times `f` and charges the elapsed wall time to `section`. Also
+    /// opens a trace span named `section` for the duration of `f`.
+    ///
+    /// Panic-safe: if `f` unwinds, the time spent up to the panic is still
+    /// charged (and the span still recorded) before the panic propagates,
+    /// so a crashed stage shows up in reports instead of vanishing.
     pub fn time<R>(&mut self, section: &'static str, f: impl FnOnce() -> R) -> R {
-        let sw = Stopwatch::start();
-        let r = f();
-        self.add(section, sw.elapsed());
-        r
+        struct Charge<'p> {
+            profile: &'p mut Profile,
+            section: &'static str,
+            sw: Stopwatch,
+            // Dropped after the time is charged, closing the span last so
+            // it brackets the whole section.
+            _span: crate::trace::SpanGuard,
+        }
+        impl Drop for Charge<'_> {
+            fn drop(&mut self) {
+                let elapsed = self.sw.elapsed();
+                self.profile.add(self.section, elapsed);
+            }
+        }
+        let _charge = Charge {
+            _span: crate::trace::span(section),
+            sw: Stopwatch::start(),
+            profile: self,
+            section,
+        };
+        f()
     }
 
     /// Charges an externally measured duration to `section`.
@@ -125,6 +152,9 @@ mod tests {
 
     #[test]
     fn profile_accumulates_sections() {
+        // Profile::time opens spans; hold the trace lock so a concurrent
+        // trace test's collector drain doesn't see them.
+        let _trace = crate::trace::test_lock();
         let mut p = Profile::new();
         let v = p.time("cls", || 21 * 2);
         assert_eq!(v, 42);
@@ -148,6 +178,49 @@ mod tests {
         assert_eq!(a.count("x"), 2);
         assert!((a.seconds("x") - 0.005).abs() < 1e-9);
         assert_eq!(a.count("y"), 1);
+    }
+
+    #[test]
+    fn profile_time_charges_on_panic() {
+        let _trace = crate::trace::test_lock();
+        let mut p = Profile::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.time("crashing", || {
+                std::hint::black_box((0..100).sum::<u64>());
+                panic!("section died");
+            })
+        }));
+        assert!(result.is_err());
+        // The partial time was charged before the panic propagated.
+        assert_eq!(p.count("crashing"), 1);
+        assert!(p.seconds("crashing") >= 0.0);
+        // The profile remains usable afterwards.
+        p.time("after", || ());
+        assert_eq!(p.count("after"), 1);
+    }
+
+    #[test]
+    fn profile_merge_is_safe_from_many_threads() {
+        use std::sync::Mutex;
+        let total = Mutex::new(Profile::new());
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let total = &total;
+                s.spawn(move || {
+                    let mut local = Profile::new();
+                    for _ in 0..100 {
+                        local.add("work", Duration::from_micros(t + 1));
+                    }
+                    local.add("setup", Duration::from_millis(1));
+                    total.lock().unwrap().merge(&local);
+                });
+            }
+        });
+        let total = total.into_inner().unwrap();
+        assert_eq!(total.count("work"), 800);
+        assert_eq!(total.count("setup"), 8);
+        // Sum of 100·(t+1) µs over t in 0..8 = 3600 µs.
+        assert!((total.seconds("work") - 0.0036).abs() < 1e-9);
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub fn full_inverse_selected(
     pc: &BlockPCyclic,
     selection: &Selection,
 ) -> SelectedInverse {
-    let g = inverse_par(par, &pc.assemble_dense())
-        .expect("valid p-cyclic matrices are nonsingular");
+    let g =
+        inverse_par(par, &pc.assemble_dense()).expect("valid p-cyclic matrices are nonsingular");
     let mut out = SelectedInverse::new();
     for (k, l) in selection.coordinates(pc.l()) {
         out.insert(k, l, pc.dense_block(&g, k, l));
@@ -105,9 +105,9 @@ pub fn mean_block_error(a: &SelectedInverse, b: &SelectedInverse) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fsi_dense::Matrix;
     use crate::fsi::{fsi_with_q, Parallelism};
     use crate::patterns::Pattern;
+    use fsi_dense::Matrix;
     use fsi_pcyclic::random_pcyclic;
 
     #[test]

@@ -32,7 +32,7 @@
 //! compact-WY kernels so the stage is GEMM-rich.
 
 use fsi_dense::tri::invert_upper;
-use fsi_dense::{geqrf, gemm, Matrix, QrFactor};
+use fsi_dense::{gemm, geqrf, Matrix, QrFactor};
 use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::{Par, Schedule};
 
@@ -117,7 +117,8 @@ impl StructuredQr {
             if i + 1 < b - 1 {
                 // Column i+1 currently holds [0; I] in rows (i, i+1).
                 let mut col = Matrix::zeros(2 * n, n);
-                col.view_mut(n, 0, n, n).copy_from(Matrix::identity(n).as_ref());
+                col.view_mut(n, 0, n, n)
+                    .copy_from(Matrix::identity(n).as_ref());
                 f.apply_qt_left(par_gemm, col.as_mut());
                 e.push(col.block(0, 0, n, n));
                 d_cur = col.block(n, 0, n, n);
@@ -132,7 +133,8 @@ impl StructuredQr {
                 // [corner; I]; the superdiagonal and corner fills merge.
                 let mut last = Matrix::zeros(2 * n, n);
                 last.set_block(0, 0, corner.as_ref());
-                last.view_mut(n, 0, n, n).copy_from(Matrix::identity(n).as_ref());
+                last.view_mut(n, 0, n, n)
+                    .copy_from(Matrix::identity(n).as_ref());
                 f.apply_qt_left(par_gemm, last.as_mut());
                 e.push(last.block(0, 0, n, n));
                 d_cur = last.block(n, 0, n, n);
@@ -232,12 +234,10 @@ impl StructuredQr {
         let mut g = Matrix::zeros(dim, dim);
         // Stage B: build X = R⁻¹ column by column (independent columns →
         // parallel_map), then write the blocks into the dense output.
-        let columns: Vec<Vec<(usize, Matrix)>> = fsi_runtime::parallel_map(
-            par_cols,
-            b,
-            Schedule::Dynamic(1),
-            |j| self.rinv_column(par_gemm, &rinv, j),
-        );
+        let columns: Vec<Vec<(usize, Matrix)>> =
+            fsi_runtime::parallel_map(par_cols, b, Schedule::Dynamic(1), |j| {
+                self.rinv_column(par_gemm, &rinv, j)
+            });
         for (j, col) in columns.into_iter().enumerate() {
             for (i, blk) in col {
                 g.set_block(i * n, j * n, blk.as_ref());
@@ -301,14 +301,35 @@ impl StructuredQr {
         let mut x_below: Matrix = rinv[j].clone();
         for i in (0..j).rev() {
             let mut t = Matrix::zeros(n, n);
-            gemm(par_gemm, -1.0, self.e[i].as_ref(), x_below.as_ref(), 0.0, t.as_mut());
+            gemm(
+                par_gemm,
+                -1.0,
+                self.e[i].as_ref(),
+                x_below.as_ref(),
+                0.0,
+                t.as_mut(),
+            );
             if last_col && i <= b.saturating_sub(3) && i < self.c.len() {
                 if let Some(xl) = x_last {
-                    gemm(par_gemm, -1.0, self.c[i].as_ref(), xl.as_ref(), 1.0, t.as_mut());
+                    gemm(
+                        par_gemm,
+                        -1.0,
+                        self.c[i].as_ref(),
+                        xl.as_ref(),
+                        1.0,
+                        t.as_mut(),
+                    );
                 }
             }
             let mut xij = Matrix::zeros(n, n);
-            gemm(par_gemm, 1.0, rinv[i].as_ref(), t.as_ref(), 0.0, xij.as_mut());
+            gemm(
+                par_gemm,
+                1.0,
+                rinv[i].as_ref(),
+                t.as_ref(),
+                0.0,
+                xij.as_mut(),
+            );
             out.push((i, xij));
             x_below = out.last().expect("just pushed").1.clone();
         }
@@ -346,11 +367,7 @@ mod tests {
         let mut m = pc.assemble_dense();
         f.apply_qt_left(Par::Seq, &mut m);
         let r = f.assemble_r();
-        assert!(
-            rel_error(&m, &r) < 1e-12,
-            "QᵀM ≠ R: {}",
-            rel_error(&m, &r)
-        );
+        assert!(rel_error(&m, &r) < 1e-12, "QᵀM ≠ R: {}", rel_error(&m, &r));
         // R's unstored positions really are zero: check one below-diagonal
         // and one interior block of QᵀM against zero.
         let below = pc.dense_block(&m, 3, 1);
@@ -405,7 +422,8 @@ mod tests {
     fn hubbard_reduced_matrix_inverts() {
         use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice};
         use rand::SeedableRng;
-        let builder = BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8));
+        let builder =
+            BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8));
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
         let field = HsField::random(8, 4, &mut rng);
         let pc = hubbard_pcyclic(&builder, &field, fsi_pcyclic::Spin::Up);

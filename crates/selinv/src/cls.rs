@@ -82,7 +82,10 @@ pub fn cls(
     q: usize,
 ) -> Clustered {
     let l = pc.l();
-    assert!(c > 0 && l % c == 0, "cluster size c={c} must divide L={l}");
+    assert!(
+        c > 0 && l.is_multiple_of(c),
+        "cluster size c={c} must divide L={l}"
+    );
     assert!(q < c, "shift q={q} must be < c={c}");
     let b = l / c;
     let o = c - 1 - q;
@@ -158,8 +161,7 @@ mod tests {
                 for k0 in 0..b {
                     for l0 in 0..b {
                         let got = cl.reduced.dense_block(&g_red, k0, l0);
-                        let want =
-                            pc.dense_block(&g_ref, cl.to_original(k0), cl.to_original(l0));
+                        let want = pc.dense_block(&g_ref, cl.to_original(k0), cl.to_original(l0));
                         assert!(
                             rel_error(&got, &want) < 1e-8,
                             "c={c} q={q} ({k0},{l0}): {}",

@@ -89,7 +89,10 @@ mod tests {
         let s = predicted_speedup(Pattern::Columns, n, l, c);
         let b = (l / c) as f64;
         let want = b * c as f64 / 3.0;
-        assert!((s - want).abs() / want < 1e-12, "speedup {s} vs bc/3 = {want}");
+        assert!(
+            (s - want).abs() / want < 1e-12,
+            "speedup {s} vs bc/3 = {want}"
+        );
         assert!(s > 30.0);
     }
 

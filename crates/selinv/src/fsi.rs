@@ -23,7 +23,7 @@
 
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
-use fsi_runtime::{Par, Profile, Stopwatch, ThreadPool};
+use fsi_runtime::{Par, Profile, ThreadPool};
 use rand::Rng;
 
 use crate::bsofi::bsofi;
@@ -79,24 +79,15 @@ pub struct FsiOutput {
 
 /// Runs Alg. 1 with an explicitly chosen shift `q` (deterministic; the
 /// random-`q` entry point is [`fsi`]).
-pub fn fsi_with_q(
-    par: Parallelism<'_>,
-    pc: &BlockPCyclic,
-    selection: &Selection,
-) -> FsiOutput {
+pub fn fsi_with_q(par: Parallelism<'_>, pc: &BlockPCyclic, selection: &Selection) -> FsiOutput {
     let (outer, inner) = par.split();
+    let _fsi_span = fsi_runtime::trace::span("fsi");
     let mut profile = Profile::new();
-    let sw = Stopwatch::start();
-    let clustered = cls(outer, inner, pc, selection.c, selection.q);
-    profile.add("cls", sw.elapsed());
-
-    let sw = Stopwatch::start();
-    let g_reduced = bsofi(outer, inner, &clustered.reduced);
-    profile.add("bsofi", sw.elapsed());
-
-    let sw = Stopwatch::start();
-    let selected = wrap(outer, pc, &clustered, &g_reduced, selection);
-    profile.add("wrap", sw.elapsed());
+    let clustered = profile.time("cls", || cls(outer, inner, pc, selection.c, selection.q));
+    let g_reduced = profile.time("bsofi", || bsofi(outer, inner, &clustered.reduced));
+    let selected = profile.time("wrap", || {
+        wrap(outer, pc, &clustered, &g_reduced, selection)
+    });
 
     FsiOutput {
         selected,
@@ -120,7 +111,6 @@ pub fn fsi<R: Rng + ?Sized>(
     let selection = Selection::new(pattern, c, q);
     fsi_with_q(par, pc, &selection)
 }
-
 
 /// The paper's §V-C measurement selection: *all* `L` diagonal blocks plus
 /// `b` block rows plus `b` block columns, produced from a single

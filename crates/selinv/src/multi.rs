@@ -209,7 +209,7 @@ impl MemoryModel {
     pub fn configurations(&self) -> Vec<(usize, usize)> {
         let mut out = Vec::new();
         for threads in 1..=self.cores_per_node {
-            if self.cores_per_node % threads == 0 {
+            if self.cores_per_node.is_multiple_of(threads) {
                 out.push((self.cores_per_node / threads, threads));
             }
         }
@@ -259,7 +259,10 @@ mod tests {
         };
         let r1 = run_multi(&builder, &base, &trace_measure);
         for ranks in [2usize, 5] {
-            let cfg = MultiConfig { ranks, ..base.clone() };
+            let cfg = MultiConfig {
+                ranks,
+                ..base.clone()
+            };
             let r = run_multi(&builder, &cfg, &trace_measure);
             for (a, b) in r1.global_measurements.iter().zip(&r.global_measurements) {
                 assert!(
@@ -299,10 +302,16 @@ mod tests {
         // N = 576, (L, c) = (100, 10), columns: paper quotes ≈2.65 GB per
         // selected inversion; our model adds the working set on top.
         let per_rank = per_rank_bytes(576, 100, 10, Pattern::Columns);
-        assert!(per_rank > 2 * (1 << 30) as u64, "selected inversion alone > 2 GB");
+        assert!(
+            per_rank > 2 * (1 << 30) as u64,
+            "selected inversion alone > 2 GB"
+        );
         // Pure MPI (12 ranks/socket ⇒ 24 ranks/node) does NOT fit at
         // N = 576 — the paper's OOM case.
-        assert!(!model.feasible(24, per_rank), "24 ranks x {per_rank} B must OOM");
+        assert!(
+            !model.feasible(24, per_rank),
+            "24 ranks x {per_rank} B must OOM"
+        );
         // The hybrid 4 ranks × 6 threads fits.
         assert!(model.feasible(4, per_rank));
         // N = 400 fits even for pure MPI (the paper's only feasible pure

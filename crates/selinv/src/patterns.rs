@@ -102,14 +102,22 @@ impl Selection {
     /// # Panics
     /// Panics unless `c` divides `L`.
     pub fn index_set(&self, l: usize) -> Vec<usize> {
-        assert!(l % self.c == 0, "cluster size c={} must divide L={l}", self.c);
+        assert!(
+            l.is_multiple_of(self.c),
+            "cluster size c={} must divide L={l}",
+            self.c
+        );
         let b = l / self.c;
         (0..b).map(|m| m * self.c + self.offset()).collect()
     }
 
     /// Number of reduced block rows `b = L/c`.
     pub fn b(&self, l: usize) -> usize {
-        assert!(l % self.c == 0, "cluster size c={} must divide L={l}", self.c);
+        assert!(
+            l.is_multiple_of(self.c),
+            "cluster size c={} must divide L={l}",
+            self.c
+        );
         l / self.c
     }
 

@@ -47,7 +47,7 @@ pub fn max_stable_cluster(l: usize, rate: f64, tol: f64) -> usize {
     let eps = f64::EPSILON;
     let mut best = 1;
     for c in 1..=l {
-        if l % c != 0 {
+        if !l.is_multiple_of(c) {
             continue;
         }
         // log-space to avoid overflow for large rates/chains.
@@ -70,7 +70,7 @@ pub fn auto_cluster_size(pc: &BlockPCyclic, tol: f64) -> usize {
     let mut best = 1usize;
     let mut best_dist = f64::INFINITY;
     for c in 1..=cap {
-        if l % c != 0 {
+        if !l.is_multiple_of(c) {
             continue;
         }
         let dist = (c as f64 - sqrt_l).abs();

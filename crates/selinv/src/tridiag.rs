@@ -283,7 +283,9 @@ pub fn random_tridiagonal(n: usize, l: usize, seed: u64) -> BlockTridiagonal {
         m.add_diag(dom);
         m
     };
-    let d = (0..l).map(|i| mk(seed.wrapping_add(i as u64 * 101), 2.0)).collect();
+    let d = (0..l)
+        .map(|i| mk(seed.wrapping_add(i as u64 * 101), 2.0))
+        .collect();
     let a = (0..l.saturating_sub(1))
         .map(|i| mk(seed.wrapping_add(7 + i as u64 * 103), 0.0))
         .collect();
@@ -391,7 +393,10 @@ mod tests {
         let f = TridiagFactor::factor(&t);
         let sel = f.selected_columns(Par::Seq, &[3]);
         let full_bytes = (4 * 10) * (4 * 10) * 8;
-        assert!(sel.bytes() * 5 <= full_bytes, "one column = 1/10 of the inverse");
+        assert!(
+            sel.bytes() * 5 <= full_bytes,
+            "one column = 1/10 of the inverse"
+        );
     }
 
     #[test]

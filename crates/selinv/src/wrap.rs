@@ -148,8 +148,14 @@ pub fn wrap(
     g_reduced: &Matrix,
     selection: &Selection,
 ) -> SelectedInverse {
-    assert_eq!(selection.c, clustered.c, "selection and clustering disagree on c");
-    assert_eq!(selection.q, clustered.q, "selection and clustering disagree on q");
+    assert_eq!(
+        selection.c, clustered.c,
+        "selection and clustering disagree on c"
+    );
+    assert_eq!(
+        selection.q, clustered.q,
+        "selection and clustering disagree on q"
+    );
     let b = clustered.b();
     let c = clustered.c;
     let factors = BlockFactors::new(pc);
@@ -362,7 +368,9 @@ mod tests {
         assert_eq!(result.len(), want_coords.len(), "{pattern:?} block count");
         let g_ref = pc.reference_green(Par::Seq);
         for (k, j) in want_coords {
-            let got = result.get(k, j).unwrap_or_else(|| panic!("missing ({k},{j})"));
+            let got = result
+                .get(k, j)
+                .unwrap_or_else(|| panic!("missing ({k},{j})"));
             let want = pc.dense_block(&g_ref, k, j);
             let err = rel_error(got, &want);
             assert!(err < tol, "{pattern:?} block ({k},{j}) err {err}");

@@ -32,7 +32,10 @@ fn main() {
         cfg.u,
         cfg.beta
     );
-    println!("warmup = {}, measurements = {}\n", cfg.warmup, cfg.measurements);
+    println!(
+        "warmup = {}, measurements = {}\n",
+        cfg.warmup, cfg.measurements
+    );
 
     let results = run(&cfg, Parallelism::Serial);
 
@@ -57,7 +60,10 @@ fn main() {
         results.kinetic.mean(),
         results.kinetic.stderr()
     );
-    println!("avg sign          {:>10.5}               (1 at half filling)", results.avg_sign.mean());
+    println!(
+        "avg sign          {:>10.5}               (1 at half filling)",
+        results.avg_sign.mean()
+    );
     println!("acceptance        {:>10.5}", results.acceptance.mean());
 
     if let Some(spxx) = &results.spxx {

@@ -54,7 +54,13 @@ fn main() {
     for n in [400usize, 576, 784, 1024] {
         let bytes = per_rank_bytes(n, 100, 10, Pattern::Columns);
         let gb = bytes as f64 / (1u64 << 30) as f64;
-        let feas = |ranks: usize| if model.feasible(ranks, bytes) { "ok" } else { "OOM" };
+        let feas = |ranks: usize| {
+            if model.feasible(ranks, bytes) {
+                "ok"
+            } else {
+                "OOM"
+            }
+        };
         println!(
             "{:>6} {:>14.2} {:>10} {:>10} {:>10} {:>10}",
             n,

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use fsi::pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice, Spin};
+use fsi::pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
 use fsi::runtime::Stopwatch;
 use fsi::selinv::baselines::{full_inverse_selected, max_block_error};
 use fsi::selinv::{fsi_with_q, Parallelism, Pattern, Selection};
@@ -18,7 +18,10 @@ fn main() {
     let lattice = SquareLattice::square(nx);
     let n = lattice.n_sites();
     let params = HubbardParams::paper_validation(l);
-    println!("Hubbard matrix: N = {n} sites x L = {l} slices  (dim {})", n * l);
+    println!(
+        "Hubbard matrix: N = {n} sites x L = {l} slices  (dim {})",
+        n * l
+    );
     println!(
         "params: t = {}, beta = {}, U = {}, nu = {:.4}",
         params.t,
@@ -52,7 +55,10 @@ fn main() {
     let reference = full_inverse_selected(fsi::runtime::Par::Seq, &m, &selection);
     let lu_time = sw.seconds();
     let err = max_block_error(&out.selected, &reference);
-    println!("\nDense LU baseline took {lu_time:.3}s (matrix dim {})", n * l);
+    println!(
+        "\nDense LU baseline took {lu_time:.3}s (matrix dim {})",
+        n * l
+    );
     println!("max block relative error FSI vs LU: {err:.3e}");
     assert!(err < 1e-9, "validation failed");
 

@@ -4,13 +4,15 @@
 //!
 //! Run with: `cargo run --release --example selected_inversion_patterns`
 
-use fsi::pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice, Spin};
-use fsi::runtime::{flops, FlopCounter, Stopwatch};
+use fsi::pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
+use fsi::runtime::{trace, Stopwatch, TraceLevel};
 use fsi::selinv::baselines::{explicit_selected, max_block_error};
 use fsi::selinv::{fsi_with_q, Parallelism, Pattern, Selection};
 use rand::SeedableRng;
 
 fn main() {
+    // Span-scoped flop attribution needs the collector on.
+    trace::set_level(TraceLevel::Stages);
     let (nx, l, c, q) = (5usize, 24usize, 6usize, 2usize);
     let lattice = SquareLattice::square(nx);
     let n = lattice.n_sites();
@@ -28,18 +30,17 @@ fn main() {
     for pattern in Pattern::ALL {
         let sel = Selection::new(pattern, c, q);
 
-        flops::reset_flops();
-        let fc = FlopCounter::start();
+        let span = trace::span("fsi-run");
         let sw = Stopwatch::start();
         let out = fsi_with_q(Parallelism::Serial, &m, &sel);
         let fsi_secs = sw.seconds();
-        let fsi_gflop = fc.elapsed() as f64 / 1e9;
+        let fsi_gflop = span.finish().flops as f64 / 1e9;
 
-        let fc = FlopCounter::start();
+        let span = trace::span("explicit");
         let sw = Stopwatch::start();
         let expl = explicit_selected(fsi::runtime::Par::Seq, &m, &sel);
         let expl_secs = sw.seconds();
-        let expl_gflop = fc.elapsed() as f64 / 1e9;
+        let expl_gflop = span.finish().flops as f64 / 1e9;
 
         let err = max_block_error(&out.selected, &expl);
         println!(

@@ -1,0 +1,121 @@
+//! End-to-end tests of the structured tracing layer: span-tree
+//! determinism, wall-time accounting of the FSI stages, exact per-stage
+//! flop attribution, and NDJSON file round-tripping.
+//!
+//! The trace collector and level are process-global, so every test here
+//! holds `trace::test_lock()` while tracing is enabled and restores the
+//! `Off` level before releasing it.
+
+use fsi::pcyclic::{random_pcyclic, BlockPCyclic};
+use fsi::runtime::trace;
+use fsi::runtime::{RunReport, TraceLevel};
+use fsi::selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+fn test_matrix() -> BlockPCyclic {
+    random_pcyclic(16, 24, 42)
+}
+
+fn traced_fsi_run(pc: &BlockPCyclic, c: usize) -> RunReport {
+    trace::clear();
+    let sel = Selection::new(Pattern::Columns, c, c / 2);
+    let _ = fsi_with_q(Parallelism::Serial, pc, &sel);
+    RunReport::capture("observability-test")
+}
+
+#[test]
+fn span_tree_is_deterministic_across_identical_runs() {
+    let _lock = trace::test_lock();
+    trace::set_level(TraceLevel::Kernels);
+    let pc = test_matrix();
+    let a = traced_fsi_run(&pc, 6);
+    let b = traced_fsi_run(&pc, 6);
+    trace::set_level(TraceLevel::Off);
+    trace::clear();
+    // The signature covers span paths (name + ancestry), flop and byte
+    // counts — everything except ids, threads, and timestamps — so two
+    // identical serial runs must agree exactly.
+    assert_eq!(a.tree_signature(), b.tree_signature());
+    assert!(
+        a.tree_signature().len() > 10,
+        "kernel-level run should record many spans, got {}",
+        a.tree_signature().len()
+    );
+}
+
+#[test]
+fn stage_walls_sum_to_driver_and_stage_flops_match_model() {
+    let _lock = trace::test_lock();
+    trace::set_level(TraceLevel::Stages);
+    let (n, l, c) = (16usize, 24usize, 6usize);
+    let pc = test_matrix();
+    let report = traced_fsi_run(&pc, c);
+    trace::set_level(TraceLevel::Off);
+    trace::clear();
+
+    // Wall-time accounting: the three stages partition the driver span up
+    // to loop glue, so their sum must land within 5% of the "fsi" total.
+    let stages = report.seconds_of("cls") + report.seconds_of("bsofi") + report.seconds_of("wrap");
+    let total = report.seconds_of("fsi");
+    assert!(total > 0.0, "driver span missing");
+    let ratio = stages / total;
+    assert!(
+        (0.95..=1.0).contains(&ratio),
+        "stage walls {stages:.6}s vs driver {total:.6}s (ratio {ratio:.4})"
+    );
+
+    // Flop accounting: CLS is exactly b chains of (c-1) NxN GEMMs, so the
+    // measured span count must equal the analytic model to the flop.
+    assert_eq!(report.flops_of("cls"), fsi::selinv::cls::cls_flops(n, l, c));
+    // The driver span's inclusive count is exactly the sum of its stages
+    // (nothing else in the driver charges flops).
+    assert_eq!(
+        report.flops_of("fsi"),
+        report.flops_of("cls") + report.flops_of("bsofi") + report.flops_of("wrap")
+    );
+    // BSOFI/WRP closed forms are leading-order approximations; the
+    // measured counts must stay within bookkeeping tolerance, with a firm
+    // lower bound so unaccounted kernels are caught.
+    let b = l / c;
+    let bsofi_ratio =
+        report.flops_of("bsofi") as f64 / fsi::selinv::bsofi::bsofi_flops(n, b) as f64;
+    assert!(
+        (0.3..=2.0).contains(&bsofi_ratio),
+        "bsofi ratio {bsofi_ratio}"
+    );
+    let wrap_ratio = report.flops_of("wrap") as f64 / fsi::selinv::wrap::wrap_flops(n, l, c) as f64;
+    assert!((0.5..=1.5).contains(&wrap_ratio), "wrap ratio {wrap_ratio}");
+}
+
+#[test]
+fn ndjson_report_round_trips_through_a_file() {
+    let report = {
+        let _lock = trace::test_lock();
+        trace::set_level(TraceLevel::Stages);
+        let pc = test_matrix();
+        let report = traced_fsi_run(&pc, 4);
+        trace::set_level(TraceLevel::Off);
+        trace::clear();
+        report
+    };
+    let dir = std::env::temp_dir().join("fsi-observability-test");
+    let path = dir.join("roundtrip.trace.ndjson");
+    report.write_ndjson(&path).expect("write ndjson");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let parsed = RunReport::parse_ndjson(&text).expect("parse ndjson");
+    assert_eq!(parsed, report);
+    // Chrome view is valid JSON with one event per span.
+    let chrome = path.with_extension("json");
+    report.write_chrome_trace(&chrome).expect("write chrome");
+    let chrome_text = std::fs::read_to_string(&chrome).expect("read chrome");
+    let json = fsi::runtime::trace::Json::parse(&chrome_text).expect("chrome JSON parses");
+    let events = json
+        .get("traceEvents")
+        .and_then(|e| e.as_array())
+        .expect("traceEvents array");
+    let span_events = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+        .count();
+    assert_eq!(span_events, report.spans.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -83,7 +83,10 @@ fn memory_model_feasibility_is_monotone() {
         let mut prev = true;
         for ranks in [1usize, 2, 4, 8, 12, 24] {
             let f = model.feasible(ranks, bytes);
-            assert!(prev || !f, "feasibility not monotone at N={n}, ranks={ranks}");
+            assert!(
+                prev || !f,
+                "feasibility not monotone at N={n}, ranks={ranks}"
+            );
             prev = f;
         }
     }
@@ -103,18 +106,28 @@ fn flop_accounting_spans_the_whole_pipeline() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(9);
     let field = HsField::random(8, 4, &mut rng);
     let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
-    let counter = fsi::runtime::FlopCounter::start();
+    let _lock = fsi::runtime::trace::test_lock();
+    fsi::runtime::trace::set_level(fsi::runtime::TraceLevel::Stages);
+    let span = fsi::runtime::trace::span("pipeline");
     let _ = fsi_with_q(
         Parallelism::Serial,
         &pc,
         &Selection::new(Pattern::Columns, 4, 1),
     );
-    let counted = counter.elapsed();
+    let counted = span.finish().flops;
+    fsi::runtime::trace::set_level(fsi::runtime::TraceLevel::Off);
+    fsi::runtime::trace::clear();
     // Rough analytic budget: should be within an order of magnitude of
     // the closed form.
     let predicted = fsi::selinv::flops::fsi_flops_exact(Pattern::Columns, 4, 8, 4);
-    assert!(counted > predicted / 4, "counted {counted} vs predicted {predicted}");
-    assert!(counted < predicted * 10, "counted {counted} vs predicted {predicted}");
+    assert!(
+        counted > predicted / 4,
+        "counted {counted} vs predicted {predicted}"
+    );
+    assert!(
+        counted < predicted * 10,
+        "counted {counted} vs predicted {predicted}"
+    );
 }
 
 #[test]
@@ -127,5 +140,5 @@ fn umbrella_reexports_are_wired() {
     assert_eq!(lat.n_sites(), 4);
     assert_eq!(fsi::selinv::Pattern::ALL.len(), 4);
     let cfg = fsi::dqmc::DqmcConfig::small();
-    assert!(cfg.l % cfg.c == 0);
+    assert!(cfg.l.is_multiple_of(cfg.c));
 }

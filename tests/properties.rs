@@ -19,9 +19,7 @@ fn fsi_config() -> impl Strategy<Value = (usize, usize, usize, usize, Pattern, u
             let l = b * c;
             (Just(n), Just(l), Just(c), 0..c, Just(pat_idx), Just(seed))
         })
-        .prop_map(|(n, l, c, q, pat_idx, seed)| {
-            (n, l, c, q, Pattern::ALL[pat_idx], seed)
-        })
+        .prop_map(|(n, l, c, q, pat_idx, seed)| (n, l, c, q, Pattern::ALL[pat_idx], seed))
 }
 
 proptest! {
