@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Non-gating kernel-performance smoke: times the packed GEMM engine (all
+# four Op paths) plus the cls/bsofi/wrap FSI stages at tiny sizes and
+# writes results/BENCH_kernels.json (size, Gflop/s, trace-measured flops).
+#
+# The binary asserts the span-measured flops of each timed gemm equal the
+# analytic counts::gemm model exactly, so a silent attribution regression
+# still fails this script — but a *slow* machine does not: throughput
+# numbers are recorded, never compared against a threshold here.
+#
+# Usage: ci/bench_smoke.sh [--label=NAME] [--out=PATH] [sizes=64,128,256]
+#   (extra args pass straight through to the bench_smoke binary)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release -p fsi-bench =="
+cargo build --offline --release -p fsi-bench --bin bench_smoke
+
+echo "== bench_smoke =="
+./target/release/bench_smoke "$@"

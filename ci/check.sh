@@ -24,6 +24,12 @@ cargo build --offline --workspace --release
 if [[ $quick -eq 0 ]]; then
   echo "== cargo test =="
   cargo test --offline --workspace -q
+
+  # Non-gating: record kernel throughput (results/BENCH_kernels.json is
+  # informational; timing noise must never fail the gate).
+  echo "== bench smoke (non-gating) =="
+  ci/bench_smoke.sh --out=/tmp/BENCH_kernels_ci.json || \
+    echo "bench smoke failed (non-gating), continuing"
 fi
 
 echo "== all checks passed =="

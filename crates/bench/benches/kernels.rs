@@ -2,7 +2,7 @@
 //! building blocks whose throughput determines every figure in the paper.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use fsi_dense::{expm, geqrf, getrf, mul, test_matrix, Matrix};
+use fsi_dense::{expm, gemm_op, geqrf, getrf, mul, test_matrix, Matrix, Op};
 use fsi_runtime::flops::counts;
 
 fn bench_gemm(c: &mut Criterion) {
@@ -13,6 +13,42 @@ fn bench_gemm(c: &mut Criterion) {
         g.throughput(Throughput::Elements(counts::gemm(n, n, n)));
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
             bench.iter(|| std::hint::black_box(mul(&a, &b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_gemm_trans(c: &mut Criterion) {
+    // The packed engine canonicalizes all four Op combos into the same
+    // panel layout at pack time, so TN/NT/TT should track the NN rate
+    // (within 1.5× is the acceptance bar; the old rank-1 kernel was up to
+    // 6× slower on TT).
+    let n = 128usize;
+    let a = test_matrix(n, n, 1);
+    let b = test_matrix(n, n, 2);
+    let mut out = Matrix::zeros(n, n);
+    let mut g = c.benchmark_group("gemm_trans");
+    g.throughput(Throughput::Elements(counts::gemm(n, n, n)));
+    for (label, opa, opb) in [
+        ("nn", Op::NoTrans, Op::NoTrans),
+        ("tn", Op::Trans, Op::NoTrans),
+        ("nt", Op::NoTrans, Op::Trans),
+        ("tt", Op::Trans, Op::Trans),
+    ] {
+        g.bench_function(label, |bench| {
+            bench.iter(|| {
+                gemm_op(
+                    fsi_runtime::Par::Seq,
+                    1.0,
+                    opa,
+                    a.as_ref(),
+                    opb,
+                    b.as_ref(),
+                    0.0,
+                    out.as_mut(),
+                );
+                std::hint::black_box(&mut out);
+            });
         });
     }
     g.finish();
@@ -145,6 +181,7 @@ fn bench_invert_upper(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_gemm,
+    bench_gemm_trans,
     bench_gemm_trace_overhead,
     bench_getrf,
     bench_geqrf_panel,

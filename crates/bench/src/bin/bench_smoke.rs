@@ -1,0 +1,212 @@
+//! Kernel-performance smoke run: times the GEMM engine (all four `Op`
+//! paths) and the three FSI stages at small sizes, cross-checks the
+//! trace-measured flops against the analytic models, and writes the
+//! results to a JSON file (`results/BENCH_kernels.json` by default) so the
+//! perf trajectory of the dense substrate is recorded PR over PR.
+//!
+//! Unlike the criterion benches this finishes in a few seconds and emits a
+//! machine-readable artifact; `ci/bench_smoke.sh` runs it as a non-gating
+//! CI step.
+//!
+//! Usage: `bench_smoke [--label=NAME] [--out=PATH] [sizes=64,128,256]
+//! [N=36] [L=32] [c=8]`
+
+use std::time::SystemTime;
+
+use fsi_bench::{hubbard_matrix, lattice_side_for, Args};
+use fsi_dense::{gemm_op, test_matrix, Matrix, Op};
+use fsi_pcyclic::Spin;
+use fsi_runtime::flops::counts;
+use fsi_runtime::trace::{self, Json};
+use fsi_runtime::Stopwatch;
+use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+
+/// One measured kernel or stage.
+struct Record {
+    name: String,
+    size: usize,
+    seconds: f64,
+    gflops: f64,
+    /// Flops measured by the span collector (0 when not traced).
+    measured_flops: u64,
+}
+
+/// Best-of repeated timing: runs `f` until ~0.25 s is spent (at least 3
+/// times) and returns the minimum per-call seconds — the standard
+/// low-noise estimator for micro-benchmarks.
+fn time_best(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let budget = Stopwatch::start();
+    let mut best = f64::INFINITY;
+    let mut reps = 0u32;
+    while budget.seconds() < 0.25 || reps < 3 {
+        let sw = Stopwatch::start();
+        f();
+        best = best.min(sw.seconds());
+        reps += 1;
+    }
+    best
+}
+
+/// Times `C := op(A)·op(B)` at `n × n × n` and returns the record plus the
+/// span-measured flops of a single traced call.
+fn bench_gemm(name: &str, n: usize, opa: Op, opb: Op) -> Record {
+    let a = test_matrix(n, n, 1);
+    let b = test_matrix(n, n, 2);
+    let mut c = Matrix::zeros(n, n);
+    let run = |c: &mut Matrix| {
+        gemm_op(
+            fsi_runtime::Par::Seq,
+            1.0,
+            opa,
+            a.as_ref(),
+            opb,
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+        );
+    };
+    let secs = time_best(|| run(&mut c));
+    // One traced call: the span-scoped count must equal the analytic model
+    // exactly (the observability layer's attribution contract).
+    trace::set_level(fsi_runtime::TraceLevel::Kernels);
+    let span = trace::span("bench-gemm");
+    run(&mut c);
+    let stats = span.finish();
+    trace::set_level(fsi_runtime::TraceLevel::Off);
+    trace::clear();
+    let analytic = counts::gemm(n, n, n);
+    assert_eq!(
+        stats.flops, analytic,
+        "{name}/{n}: traced flops {} != analytic {analytic}",
+        stats.flops
+    );
+    Record {
+        name: name.to_string(),
+        size: n,
+        seconds: secs,
+        gflops: analytic as f64 / secs / 1e9,
+        measured_flops: stats.flops,
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let label = args.flag_value("label").unwrap_or("current").to_string();
+    let out = args
+        .flag_value("out")
+        .unwrap_or("results/BENCH_kernels.json")
+        .to_string();
+    let sizes = args.get_list("sizes", &[64, 128, 256]);
+
+    let mut records = Vec::new();
+    println!(
+        "{:<12} {:>6} {:>12} {:>10}",
+        "bench", "size", "best (s)", "Gflop/s"
+    );
+    for &n in &sizes {
+        let r = bench_gemm("gemm_nn", n, Op::NoTrans, Op::NoTrans);
+        println!(
+            "{:<12} {:>6} {:>12.6} {:>10.3}",
+            r.name, r.size, r.seconds, r.gflops
+        );
+        records.push(r);
+    }
+    // Transposed paths at the middle size: the packed engine routes all
+    // four through the same micro-kernel, so these should sit within 1.5×
+    // of the NN rate.
+    let nt = sizes.get(1).copied().unwrap_or(128);
+    for (name, opa, opb) in [
+        ("gemm_tn", Op::Trans, Op::NoTrans),
+        ("gemm_nt", Op::NoTrans, Op::Trans),
+        ("gemm_tt", Op::Trans, Op::Trans),
+    ] {
+        let r = bench_gemm(name, nt, opa, opb);
+        println!(
+            "{:<12} {:>6} {:>12.6} {:>10.3}",
+            r.name, r.size, r.seconds, r.gflops
+        );
+        records.push(r);
+    }
+
+    // One traced FSI run at a small shape: per-stage seconds, flops, and
+    // rates from the span collector.
+    let n = args.get_usize("N", 36);
+    let l = args.get_usize("L", 32);
+    let c = args.get_usize("c", 8);
+    let nx = lattice_side_for(n);
+    let n = nx * nx;
+    let pc = hubbard_matrix(nx, l, 2016, Spin::Up);
+    let sel = Selection::new(Pattern::Columns, c, 5.min(c - 1));
+    trace::set_level(fsi_runtime::TraceLevel::Stages);
+    trace::clear();
+    let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    let report = trace::RunReport::capture("bench_smoke");
+    trace::set_level(fsi_runtime::TraceLevel::Off);
+    trace::clear();
+    for stage in ["cls", "bsofi", "wrap"] {
+        let secs = report.seconds_of(stage);
+        let flops = report.flops_of(stage);
+        let r = Record {
+            name: format!("stage_{stage}"),
+            size: n,
+            seconds: secs,
+            gflops: if secs > 0.0 {
+                flops as f64 / secs / 1e9
+            } else {
+                0.0
+            },
+            measured_flops: flops,
+        };
+        println!(
+            "{:<12} {:>6} {:>12.6} {:>10.3}",
+            r.name, r.size, r.seconds, r.gflops
+        );
+        records.push(r);
+    }
+
+    let json = Json::Obj(vec![
+        ("label".into(), Json::Str(label)),
+        (
+            "unix_ms".into(),
+            Json::Int(
+                SystemTime::now()
+                    .duration_since(SystemTime::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+            ),
+        ),
+        (
+            "shape".into(),
+            Json::Obj(vec![
+                ("N".into(), Json::Int(n as u64)),
+                ("L".into(), Json::Int(l as u64)),
+                ("c".into(), Json::Int(c as u64)),
+            ]),
+        ),
+        (
+            "records".into(),
+            Json::Arr(
+                records
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str(r.name.clone())),
+                            ("size".into(), Json::Int(r.size as u64)),
+                            ("seconds".into(), Json::Num(r.seconds)),
+                            ("gflops".into(), Json::Num(r.gflops)),
+                            ("flops".into(), Json::Int(r.measured_flops)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, json.to_string()).expect("write bench json");
+    println!("\nwrote {out}");
+}

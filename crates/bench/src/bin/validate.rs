@@ -21,7 +21,7 @@
 
 use fsi_bench::{banner, hubbard_matrix, init_trace, lattice_side_for, Args};
 use fsi_pcyclic::Spin;
-use fsi_runtime::{Par, Stopwatch};
+use fsi_runtime::{trace, Par, Stopwatch};
 use fsi_selinv::baselines::{full_inverse_selected, max_block_error, mean_block_error};
 use fsi_selinv::{fsi_with_q, Parallelism, Pattern, Selection};
 
@@ -36,8 +36,49 @@ fn check_ratio(stage: &str, measured: u64, analytic: u64, lo: f64, hi: f64) -> b
     ok
 }
 
+/// Startup self-check of the packed GEMM engine's flop attribution: the
+/// span-measured count of a single `gemm_op` call must equal the analytic
+/// `flops::counts::gemm` model *exactly* (not within tolerance) — the
+/// packing/micro-kernel restructure charges once per logical product, and
+/// every stage ratio below rests on that contract. Odd, remainder-heavy
+/// dimensions so partial MR/NR tiles are exercised.
+fn assert_gemm_attribution_exact() {
+    use fsi_dense::{gemm_op, test_matrix, Matrix, Op};
+    let (m, k, n) = (37, 29, 41);
+    let a = test_matrix(m, k, 7);
+    let b = test_matrix(k, n, 8);
+    let mut c = Matrix::zeros(m, n);
+    // Remember the FSI_TRACE-derived level so the temporary Kernels
+    // override here doesn't mask the user's setting for the real run.
+    let prior = trace::level();
+    trace::set_level(fsi_runtime::TraceLevel::Kernels);
+    trace::clear();
+    let span = trace::span("gemm-selfcheck");
+    gemm_op(
+        Par::Seq,
+        1.0,
+        Op::NoTrans,
+        a.as_ref(),
+        Op::NoTrans,
+        b.as_ref(),
+        0.0,
+        c.as_mut(),
+    );
+    let stats = span.finish();
+    trace::set_level(prior);
+    trace::clear();
+    let analytic = fsi_runtime::flops::counts::gemm(m, n, k);
+    assert_eq!(
+        stats.flops, analytic,
+        "packed GEMM span flops {} != analytic counts::gemm({m},{n},{k}) = {analytic}",
+        stats.flops
+    );
+    println!("gemm flop attribution self-check: measured == analytic ({analytic}) ok");
+}
+
 fn main() {
     let args = Args::parse();
+    assert_gemm_attribution_exact();
     let export = init_trace("validate", &args);
     let paper = args.paper_scale();
     let n = args.get_usize("N", if paper { 100 } else { 36 });

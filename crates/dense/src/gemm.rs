@@ -1,4 +1,5 @@
-//! Level-3 BLAS: general matrix-matrix multiply.
+//! Level-3 BLAS: general matrix-matrix multiply as a packed,
+//! register-blocked micro-kernel engine.
 //!
 //! `GEMM` dominates the FSI algorithm — the clustering stage is a chain of
 //! `B` products, the wrapping stage multiplies each produced block by a `B`
@@ -6,19 +7,56 @@
 //! highlights that FSI performance tracks DGEMM throughput, so this kernel
 //! is the crate's hot spot.
 //!
-//! The no-transpose path is cache-blocked (`MC × KC` panels of A against
-//! `KC`-deep strips of B) with a 4-column rank-1 micro-kernel whose inner
-//! loop is a contiguous fused multiply-add stream over a column of A, which
-//! LLVM vectorizes. Parallelism splits C into column chunks, one per pool
-//! thread — disjoint `MatMut`s, so no synchronization is needed inside.
+//! # Architecture
 //!
-//! Transposed paths (`AᵀB`, `ABᵀ`, `AᵀBᵀ`) use dot/axpy formulations; they
-//! appear only in low-volume places (Householder applications use the
-//! dedicated blocked reflector kernels in [`crate::qr`] instead).
+//! The engine uses the Goto/BLIS decomposition (the structure of faer-rs,
+//! OpenBLAS, and the MKL the paper's Edison runs link against):
+//!
+//! ```text
+//! for jc in steps of NC           │ columns of C and B
+//!   for pc in steps of KC         │ depth — pack B̃ (KC×NC, NR-strided)
+//!     for ic in steps of MC       │ rows of C and A — pack Ã (MC×KC, MR-strided)
+//!       for jr in steps of NR     │ macro-kernel over the packed panels
+//!         for ir in steps of MR   │
+//!           C[ir…, jr…] += alpha · Ã·B̃   (MR×NR register tile)
+//! ```
+//!
+//! **Packing.** Each `MC × KC` block of `op(A)` is copied into row panels
+//! laid out MR-strided (`panel[p·MR + r] = op(A)[r, p]`) and each
+//! `KC × NC` block of `op(B)` into NR-strided column panels, with partial
+//! panels zero-padded to full width. Packing reads operands through their
+//! *logical* indices, so all four `Op` combinations (`NN`/`TN`/`NT`/`TT`)
+//! canonicalize to the same layout and route through the same micro-kernel
+//! — there are no separate transposed code paths, and a `Trans` product
+//! runs at the `NoTrans` rate. The pack buffers are borrowed from the
+//! thread-local pool in [`fsi_runtime::workspace`], so steady-state calls
+//! perform no allocation.
+//!
+//! **Micro-kernel.** The innermost kernel accumulates an `MR × NR` (8×4)
+//! tile of C held entirely in vector registers. Two implementations share
+//! one contract: an AVX2+FMA variant written with explicit `std::arch`
+//! intrinsics (8 `ymm` accumulators, 8 `vfmadd231pd` per depth step —
+//! exactly enough independent chains to saturate both FMA ports), and a
+//! portable plain multiply-add variant over fixed-size arrays that LLVM
+//! auto-vectorizes for the baseline target. [`micro_kernel`] picks the
+//! widest supported variant once per process via
+//! `is_x86_feature_detected!`.
+//!
+//! **Blocking parameters.** `MR×NR = 8×4` (fits the 16 ×86-64 vector
+//! registers), `MC = 96` (Ã ≈ 192 KiB, L2-resident), `KC = 256`,
+//! `NC = 1024` (B̃ ≈ 2 MiB, L3-resident).
+//!
+//! **Parallelism.** C is tiled over an M×N *thread grid* chosen by
+//! [`thread_grid`] to use every pool thread while keeping tiles near
+//! square — so BSOFI's tall-skinny `2N × N` panels split over rows instead
+//! of starving on `min(threads, n)` column splits. Tiles are disjoint
+//! `MatMut`s; each task runs the full sequential packed engine on its
+//! tile, with identical per-element accumulation order to a sequential
+//! run, so parallel results are bitwise equal to sequential ones.
 
 use crate::matrix::{MatMut, MatRef, Matrix};
 use fsi_runtime::flops;
-use fsi_runtime::{parallel_for, Par, Schedule};
+use fsi_runtime::{parallel_for, workspace, Par, Schedule};
 
 /// Transposition selector for [`gemm_op`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,10 +84,16 @@ impl Op {
     }
 }
 
-/// Cache block: rows of A per panel.
-const MC: usize = 128;
-/// Cache block: depth per panel.
-const KC: usize = 192;
+/// Register tile height: rows of C per micro-kernel call.
+const MR: usize = 8;
+/// Register tile width: columns of C per micro-kernel call.
+const NR: usize = 4;
+/// Cache block: rows of A per packed panel (multiple of `MR`).
+const MC: usize = 96;
+/// Cache block: depth per packed panel.
+const KC: usize = 256;
+/// Cache block: columns of B per packed panel (multiple of `NR`).
+const NC: usize = 1024;
 
 /// `C := alpha·A·B + beta·C` (both operands as stored).
 ///
@@ -78,8 +122,9 @@ pub fn gemm_op(
 }
 
 /// [`gemm_op`] without flop accounting or a kernel span: for kernels (QR's
-/// LARFB) that already charged their own analytic total and use gemm as an
-/// internal detail — charging here too would double-count.
+/// LARFB, the blocked TRTRI) that already charged their own analytic total
+/// and use gemm as an internal detail — charging here too would
+/// double-count.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn gemm_op_uncounted(
     par: Par<'_>,
@@ -116,7 +161,7 @@ fn gemm_op_impl(
         return;
     }
 
-    // Scale C by beta up front so the accumulation kernels only add.
+    // Scale C by beta up front so the accumulation engine only adds.
     if beta == 0.0 {
         c.fill(0.0);
     } else if beta != 1.0 {
@@ -137,139 +182,325 @@ fn gemm_op_impl(
         None
     };
 
-    let threads = par.threads().min(n).max(1);
-    if threads <= 1 {
-        accumulate(alpha, opa, a, opb, b, c);
+    let (tm, tn) = thread_grid(par.threads().max(1), m, n);
+    if tm * tn <= 1 {
+        gemm_packed(alpha, opa, a, opb, b, c);
         return;
     }
     let pool = par.pool().expect("threads > 1 implies pool");
-    let chunk = n.div_ceil(threads);
-    let c_chunks = c.split_cols_chunks(chunk);
+    let row_chunk = m.div_ceil(tm);
+    let col_chunk = n.div_ceil(tn);
+    let col_panels = c.split_cols_chunks(col_chunk);
     pool.scope(|s| {
-        for (t, mut cc) in c_chunks.into_iter().enumerate() {
-            let j0 = t * chunk;
-            let bc = match opb {
+        for (tj, cc) in col_panels.into_iter().enumerate() {
+            let j0 = tj * col_chunk;
+            let bs = match opb {
                 Op::NoTrans => b.submatrix(0, j0, k, cc.cols()),
                 Op::Trans => b.submatrix(j0, 0, cc.cols(), k),
             };
-            s.spawn(move || accumulate(alpha, opa, a, opb, bc, cc.rb_mut()));
+            for (ti, ct) in cc.split_rows_chunks(row_chunk).into_iter().enumerate() {
+                let i0 = ti * row_chunk;
+                let at = match opa {
+                    Op::NoTrans => a.submatrix(i0, 0, ct.rows(), k),
+                    Op::Trans => a.submatrix(0, i0, k, ct.rows()),
+                };
+                s.spawn(move || gemm_packed(alpha, opa, at, opb, bs, ct));
+            }
         }
     });
 }
 
-/// Dispatches to the per-shape accumulation kernel: `C += alpha·op(A)·op(B)`.
-fn accumulate(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, c: MatMut<'_>) {
-    match (opa, opb) {
-        (Op::NoTrans, Op::NoTrans) => acc_nn(alpha, a, b, c),
-        (Op::Trans, Op::NoTrans) => acc_tn(alpha, a, b, c),
-        (Op::NoTrans, Op::Trans) => acc_nt(alpha, a, b, c),
-        (Op::Trans, Op::Trans) => acc_tt(alpha, a, b, c),
+/// Chooses a `tm × tn` thread grid for an `m × n` output: among the splits
+/// that use the most threads, the one whose tiles are closest to square
+/// (minimal `|ln aspect|`). A 512×8 output on 4 threads gets `(4, 1)`
+/// (row split — the BSOFI tall-skinny case), 100×100 gets `(2, 2)`.
+fn thread_grid(threads: usize, m: usize, n: usize) -> (usize, usize) {
+    // Never split below one register tile per task.
+    let max_tm = m.div_ceil(MR).max(1);
+    let max_tn = n.div_ceil(NR).max(1);
+    if threads <= 1 || max_tm * max_tn == 1 {
+        return (1, 1);
     }
-}
-
-/// Blocked `C += alpha·A·B`, the hot path.
-fn acc_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut pc = 0;
-    while pc < k {
-        let kc = KC.min(k - pc);
-        let mut ic = 0;
-        while ic < m {
-            let mc = MC.min(m - ic);
-            micro_nn(
-                alpha,
-                a.submatrix(ic, pc, mc, kc),
-                b.submatrix(pc, 0, kc, n),
-                c.rb_mut().submatrix(ic, 0, mc, n),
-            );
-            ic += mc;
+    let mut best = (1, 1);
+    let mut best_used = 0usize;
+    let mut best_aspect = f64::INFINITY;
+    for tm in 1..=threads.min(max_tm) {
+        let tn = (threads / tm).min(max_tn).max(1);
+        let used = tm * tn;
+        let aspect = ((m as f64 / tm as f64) / (n as f64 / tn as f64)).ln().abs();
+        if used > best_used || (used == best_used && aspect < best_aspect) {
+            best = (tm, tn);
+            best_used = used;
+            best_aspect = aspect;
         }
-        pc += kc;
     }
+    best
 }
 
-/// Rank-1 micro-kernel over 4 columns of C at a time.
-///
-/// For each quad of C columns and each depth index `p`, streams column `p`
-/// of A once against four B scalars. The inner loop is contiguous in both
-/// A's column and C's columns, so it vectorizes.
-fn micro_nn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut j = 0;
-    while j + 4 <= n {
-        // SAFETY: per-column slices are disjoint (j..j+4); raw pointers are
-        // needed because MatMut cannot hand out four simultaneous &mut
-        // columns. Bounds: j + 3 < n and every slice has length m.
-        unsafe {
-            let c0 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j).as_mut_ptr(), m);
-            let c1 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 1).as_mut_ptr(), m);
-            let c2 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 2).as_mut_ptr(), m);
-            let c3 = std::slice::from_raw_parts_mut(c.rb_mut().col_mut(j + 3).as_mut_ptr(), m);
-            for p in 0..k {
-                let ap = a.col(p);
-                let b0 = alpha * b.at_unchecked(p, j);
-                let b1 = alpha * b.at_unchecked(p, j + 1);
-                let b2 = alpha * b.at_unchecked(p, j + 2);
-                let b3 = alpha * b.at_unchecked(p, j + 3);
-                for i in 0..m {
-                    let av = *ap.get_unchecked(i);
-                    *c0.get_unchecked_mut(i) += av * b0;
-                    *c1.get_unchecked_mut(i) += av * b1;
-                    *c2.get_unchecked_mut(i) += av * b2;
-                    *c3.get_unchecked_mut(i) += av * b3;
+/// The sequential packed engine: `C += alpha·op(A)·op(B)` through the full
+/// NC/KC/MC loop nest, pack buffers borrowed from the thread-local
+/// workspace pool. Offsets into `a`/`b` are logical `op(·)` coordinates,
+/// so every transposition combination shares this one path.
+fn gemm_packed(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, mut c: MatMut<'_>) {
+    let m = c.rows();
+    let n = c.cols();
+    let k = opa.cols(a);
+    let micro = micro_kernel();
+    let ldc = c.ld();
+    let cptr = c.as_mut_ptr();
+    let a_len = MC.min(m).div_ceil(MR) * MR * KC.min(k);
+    let b_len = NC.min(n).div_ceil(NR) * NR * KC.min(k);
+    workspace::with_scratch2(a_len, b_len, |apack, bpack| {
+        let mut jc = 0;
+        while jc < n {
+            let ncb = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b(opb, b, pc, jc, kc, ncb, bpack);
+                let mut ic = 0;
+                while ic < m {
+                    let mc = MC.min(m - ic);
+                    pack_a(opa, a, ic, pc, mc, kc, apack);
+                    // Macro-kernel: sweep the packed panels tile by tile.
+                    let mut jr = 0;
+                    while jr < ncb {
+                        let nr = NR.min(ncb - jr);
+                        let bpanel = bpack[(jr / NR) * (kc * NR)..].as_ptr();
+                        let mut ir = 0;
+                        while ir < mc {
+                            let mr = MR.min(mc - ir);
+                            let apanel = apack[(ir / MR) * (kc * MR)..].as_ptr();
+                            // SAFETY: the panels hold kc·MR / kc·NR packed
+                            // values by construction; the C tile at
+                            // (ic+ir, jc+jr) has mr×nr live elements inside
+                            // this exclusive view, and the kernel writes
+                            // only that corner.
+                            unsafe {
+                                let ctile = cptr.add((ic + ir) + (jc + jr) * ldc);
+                                micro(kc, alpha, apanel, bpanel, ctile, ldc, mr, nr);
+                            }
+                            ir += MR;
+                        }
+                        jr += NR;
+                    }
+                    ic += mc;
+                }
+                pc += kc;
+            }
+            jc += ncb;
+        }
+    });
+}
+
+/// Packs the `mc × kc` block of `op(A)` at logical offset `(ic, pc)` into
+/// MR-strided row panels: panel `ip` stores `op(A)[ip·MR + r, p]` at
+/// `panel[p·MR + r]`, zero-padded to a full `MR` so the micro-kernel never
+/// branches on tile height.
+fn pack_a(opa: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, dst: &mut [f64]) {
+    for ip in 0..mc.div_ceil(MR) {
+        let i0 = ip * MR;
+        let mr = MR.min(mc - i0);
+        let panel = &mut dst[ip * MR * kc..(ip + 1) * MR * kc];
+        match opa {
+            // op(A)[i, p] = A[ic+i, pc+p]: fixed p is a contiguous column
+            // segment of height mr.
+            Op::NoTrans => {
+                for p in 0..kc {
+                    let src = &a.col(pc + p)[ic + i0..ic + i0 + mr];
+                    let d = &mut panel[p * MR..(p + 1) * MR];
+                    d[..mr].copy_from_slice(src);
+                    d[mr..].fill(0.0);
+                }
+            }
+            // op(A)[i, p] = A[pc+p, ic+i]: fixed i is a contiguous column
+            // segment of depth kc, scattered into stride-MR slots.
+            Op::Trans => {
+                for r in 0..MR {
+                    if r < mr {
+                        let src = &a.col(ic + i0 + r)[pc..pc + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            panel[p * MR + r] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            panel[p * MR + r] = 0.0;
+                        }
+                    }
                 }
             }
         }
-        j += 4;
-    }
-    // Remainder columns: one safe axpy stream per column.
-    while j < n {
-        let mut cj_view = c.rb_mut().submatrix(0, j, m, 1);
-        let cj = cj_view.col_mut(0);
-        for p in 0..k {
-            crate::blas::axpy(alpha * b.at(p, j), a.col(p), cj);
-        }
-        j += 1;
     }
 }
 
-/// `C += alpha·Aᵀ·B` via dot products down contiguous columns.
-fn acc_tn(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, n) = (c.rows(), c.cols());
-    for j in 0..n {
-        let bj = b.col(j);
-        for i in 0..m {
-            *c.at_mut(i, j) += alpha * crate::blas::dot(a.col(i), bj);
-        }
-    }
-}
-
-/// `C += alpha·A·Bᵀ` via axpy streams over columns of A.
-fn acc_nt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, n) = (c.rows(), c.cols());
-    let k = a.cols();
-    for j in 0..n {
-        let mut cj_view = c.rb_mut().submatrix(0, j, m, 1);
-        let cj = cj_view.col_mut(0);
-        for p in 0..k {
-            crate::blas::axpy(alpha * b.at(j, p), a.col(p), cj);
-        }
-    }
-}
-
-/// `C += alpha·Aᵀ·Bᵀ` (rare; strided dot).
-fn acc_tt(alpha: f64, a: MatRef<'_>, b: MatRef<'_>, mut c: MatMut<'_>) {
-    let (m, n) = (c.rows(), c.cols());
-    let k = a.rows();
-    for j in 0..n {
-        for i in 0..m {
-            let mut s = 0.0;
-            for p in 0..k {
-                s += a.at(p, i) * b.at(j, p);
+/// Packs the `kc × nc` block of `op(B)` at logical offset `(pc, jc)` into
+/// NR-strided column panels: panel `jp` stores `op(B)[p, jp·NR + j]` at
+/// `panel[p·NR + j]`, zero-padded to a full `NR`.
+fn pack_b(opb: Op, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, dst: &mut [f64]) {
+    for jp in 0..nc.div_ceil(NR) {
+        let j0 = jp * NR;
+        let nr = NR.min(nc - j0);
+        let panel = &mut dst[jp * NR * kc..(jp + 1) * NR * kc];
+        match opb {
+            // op(B)[p, j] = B[pc+p, jc+j]: fixed j is a contiguous column
+            // segment of depth kc, scattered into stride-NR slots.
+            Op::NoTrans => {
+                for j in 0..NR {
+                    if j < nr {
+                        let src = &b.col(jc + j0 + j)[pc..pc + kc];
+                        for (p, &v) in src.iter().enumerate() {
+                            panel[p * NR + j] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            panel[p * NR + j] = 0.0;
+                        }
+                    }
+                }
             }
-            *c.at_mut(i, j) += alpha * s;
+            // op(B)[p, j] = B[jc+j, pc+p]: fixed p is a contiguous column
+            // segment of width nr.
+            Op::Trans => {
+                for p in 0..kc {
+                    let src = &b.col(pc + p)[jc + j0..jc + j0 + nr];
+                    let d = &mut panel[p * NR..(p + 1) * NR];
+                    d[..nr].copy_from_slice(src);
+                    d[nr..].fill(0.0);
+                }
+            }
         }
     }
+}
+
+/// The micro-kernel signature: `(kc, alpha, Ã-panel, B̃-panel, C-tile, ldc,
+/// m_eff, n_eff)`.
+type MicroKernel = unsafe fn(usize, f64, *const f64, *const f64, *mut f64, usize, usize, usize);
+
+/// Portable micro-kernel: accumulates the full `MR × NR` register tile
+/// from zero over `kc` packed depth steps (padding lanes contribute exact
+/// zeros), then adds `alpha ·` the live `m_eff × n_eff` corner into C.
+/// Written over fixed-size arrays with plain multiply-add so LLVM
+/// auto-vectorizes with whatever SIMD the baseline target allows, without
+/// emitting libm `fma` calls.
+///
+/// # Safety
+/// `ap` must point at `kc·MR` packed values, `bp` at `kc·NR`, and `c` at a
+/// tile whose `m_eff × n_eff` corner is exclusively writable with column
+/// stride `ldc`.
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_portable(
+    kc: usize,
+    alpha: f64,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    let mut acc = [[0.0f64; MR]; NR];
+    for p in 0..kc {
+        let a = ap.add(p * MR);
+        let b = bp.add(p * NR);
+        let mut av = [0.0f64; MR];
+        for (i, slot) in av.iter_mut().enumerate() {
+            *slot = *a.add(i);
+        }
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let bj = *b.add(j);
+            for (i, accij) in accj.iter_mut().enumerate() {
+                *accij += av[i] * bj;
+            }
+        }
+    }
+    for (j, accj) in acc.iter().enumerate().take(n_eff) {
+        let cj = c.add(j * ldc);
+        for (i, &accij) in accj.iter().enumerate().take(m_eff) {
+            *cj.add(i) += alpha * accij;
+        }
+    }
+}
+
+/// AVX2+FMA micro-kernel: explicit 256-bit intrinsics — the 8×4 tile lives
+/// in 8 `ymm` accumulators (two per C column), and each depth step issues
+/// 2 panel loads, 4 broadcasts, and 8 `vfmadd231pd`. Eight independent
+/// accumulator chains exactly cover the FMA latency×throughput product of
+/// Haswell-and-later cores, so the loop can run at peak FMA rate.
+///
+/// The writeback deliberately uses unfused multiply-then-add (not
+/// `vfmadd`) so each C element sees the same rounding sequence as the
+/// partial-tile scalar path — results are bitwise independent of where
+/// tile boundaries fall, which keeps parallel runs bitwise equal to
+/// sequential ones.
+///
+/// # Safety
+/// See [`micro_kernel_body`]; additionally the CPU must support AVX2 and
+/// FMA (verified once by [`micro_kernel`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn micro_kernel_avx2(
+    kc: usize,
+    alpha: f64,
+    ap: *const f64,
+    bp: *const f64,
+    c: *mut f64,
+    ldc: usize,
+    m_eff: usize,
+    n_eff: usize,
+) {
+    use std::arch::x86_64::*;
+    let mut acc = [[_mm256_setzero_pd(); 2]; NR];
+    for p in 0..kc {
+        let a0 = _mm256_loadu_pd(ap.add(p * MR));
+        let a1 = _mm256_loadu_pd(ap.add(p * MR + 4));
+        for (j, accj) in acc.iter_mut().enumerate() {
+            let bj = _mm256_broadcast_sd(&*bp.add(p * NR + j));
+            accj[0] = _mm256_fmadd_pd(a0, bj, accj[0]);
+            accj[1] = _mm256_fmadd_pd(a1, bj, accj[1]);
+        }
+    }
+    let alphav = _mm256_set1_pd(alpha);
+    if m_eff == MR && n_eff == NR {
+        for (j, accj) in acc.iter().enumerate() {
+            let cj = c.add(j * ldc);
+            let lo = _mm256_add_pd(_mm256_loadu_pd(cj), _mm256_mul_pd(alphav, accj[0]));
+            let hi = _mm256_add_pd(_mm256_loadu_pd(cj.add(4)), _mm256_mul_pd(alphav, accj[1]));
+            _mm256_storeu_pd(cj, lo);
+            _mm256_storeu_pd(cj.add(4), hi);
+        }
+    } else {
+        let mut tile = [[0.0f64; MR]; NR];
+        for (j, accj) in acc.iter().enumerate() {
+            _mm256_storeu_pd(tile[j].as_mut_ptr(), accj[0]);
+            _mm256_storeu_pd(tile[j].as_mut_ptr().add(4), accj[1]);
+        }
+        for (j, tj) in tile.iter().enumerate().take(n_eff) {
+            let cj = c.add(j * ldc);
+            for (i, &v) in tj.iter().enumerate().take(m_eff) {
+                *cj.add(i) += alpha * v;
+            }
+        }
+    }
+}
+
+/// Selects the widest micro-kernel the running CPU supports, once per
+/// process. Dispatch policy: AVX2+FMA when `is_x86_feature_detected!`
+/// confirms both (any x86-64 since Haswell), the portable kernel
+/// otherwise and on every non-x86 target.
+fn micro_kernel() -> MicroKernel {
+    static KERNEL: std::sync::OnceLock<MicroKernel> = std::sync::OnceLock::new();
+    *KERNEL.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return micro_kernel_avx2 as MicroKernel;
+            }
+        }
+        micro_kernel_portable as MicroKernel
+    })
 }
 
 /// Convenience: allocates and returns `A·B` (sequential).
@@ -290,13 +521,26 @@ pub fn mul_par(par: Par<'_>, a: &Matrix, b: &Matrix) -> Matrix {
 /// parallelizing each product. Used by the clustering stage and by the
 /// explicit-inversion baseline's matrix chains.
 ///
+/// The running product ping-pongs between two buffers: the previous
+/// accumulator is recycled as the next output whenever the shape allows,
+/// so a `c`-factor cluster chain allocates at most two matrices instead of
+/// one per factor.
+///
 /// # Panics
 /// Panics if the chain is empty or shapes are incompatible.
 pub fn chain_mul(par: Par<'_>, factors: &[&Matrix]) -> Matrix {
     let (first, rest) = factors.split_first().expect("chain_mul needs a factor");
     let mut acc = (*first).clone();
+    let mut spare: Option<Matrix> = None;
     for f in rest {
-        acc = mul_par(par, &acc, f);
+        let (rows, cols) = (acc.rows(), f.cols());
+        let mut out = match spare.take() {
+            // Stale contents are fine: beta = 0 overwrites every element.
+            Some(s) if s.rows() == rows && s.cols() == cols => s,
+            _ => Matrix::zeros(rows, cols),
+        };
+        gemm(par, 1.0, acc.as_ref(), f.as_ref(), 0.0, out.as_mut());
+        spare = Some(std::mem::replace(&mut acc, out));
     }
     acc
 }
@@ -368,6 +612,26 @@ mod tests {
         );
     }
 
+    /// Operands shaped so `op(A)` is `m × k` and `op(B)` is `k × n`.
+    fn operands(m: usize, k: usize, n: usize, opa: Op, opb: Op, seed: u64) -> (Matrix, Matrix) {
+        let a = match opa {
+            Op::NoTrans => test_matrix(m, k, seed),
+            Op::Trans => test_matrix(k, m, seed),
+        };
+        let b = match opb {
+            Op::NoTrans => test_matrix(k, n, seed + 1),
+            Op::Trans => test_matrix(n, k, seed + 1),
+        };
+        (a, b)
+    }
+
+    const ALL_OPS: [(Op, Op); 4] = [
+        (Op::NoTrans, Op::NoTrans),
+        (Op::Trans, Op::NoTrans),
+        (Op::NoTrans, Op::Trans),
+        (Op::Trans, Op::Trans),
+    ];
+
     #[test]
     fn nn_matches_naive_on_odd_shapes() {
         for &(m, k, n) in &[
@@ -381,6 +645,66 @@ mod tests {
             let b = test_matrix(k, n, 2);
             let c = mul(&a, &b);
             assert_close(&c, &naive(Op::NoTrans, &a, Op::NoTrans, &b), 1e-13);
+        }
+    }
+
+    #[test]
+    fn all_op_combos_match_naive_on_odd_shapes() {
+        // Odd and prime shapes straddling the MC/KC/NC block boundaries:
+        // every Op combination routes through the same packed micro-kernel.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (17, 13, 9),
+            (23, 29, 31),
+            (97, 101, 89),
+            (130, 259, 65),
+        ] {
+            for (opa, opb) in ALL_OPS {
+                let (a, b) = operands(m, k, n, opa, opb, 7);
+                let mut c = Matrix::zeros(m, n);
+                gemm_op(
+                    Par::Seq,
+                    1.0,
+                    opa,
+                    a.as_ref(),
+                    opb,
+                    b.as_ref(),
+                    0.0,
+                    c.as_mut(),
+                );
+                assert_close(&c, &naive(opa, &a, opb, &b), 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_edges_cover_partial_tiles() {
+        // Every combination of full / partial MR row tiles and NR column
+        // tiles, plus depths straddling the KC boundary.
+        let ms = [1, MR - 1, MR, MR + 1, 2 * MR + 3];
+        let ns = [1, NR - 1, NR, NR + 1, 2 * NR + 3];
+        let ks = [1, 7, KC, KC + 1];
+        for &m in &ms {
+            for &n in &ns {
+                for &k in &ks {
+                    for (opa, opb) in ALL_OPS {
+                        let (a, b) = operands(m, k, n, opa, opb, (m + 3 * n + 17 * k) as u64);
+                        let mut c = Matrix::zeros(m, n);
+                        gemm_op(
+                            Par::Seq,
+                            1.0,
+                            opa,
+                            a.as_ref(),
+                            opb,
+                            b.as_ref(),
+                            0.0,
+                            c.as_mut(),
+                        );
+                        assert_close(&c, &naive(opa, &a, opb, &b), 1e-13);
+                    }
+                }
+            }
         }
     }
 
@@ -410,14 +734,7 @@ mod tests {
         ];
         for (opa, opb) in cases {
             let (m, k, n) = (9, 7, 11);
-            let a = match opa {
-                Op::NoTrans => test_matrix(m, k, 10),
-                Op::Trans => test_matrix(k, m, 10),
-            };
-            let b = match opb {
-                Op::NoTrans => test_matrix(k, n, 11),
-                Op::Trans => test_matrix(n, k, 11),
-            };
+            let (a, b) = operands(m, k, n, opa, opb, 10);
             let mut c = Matrix::zeros(m, n);
             gemm_op(
                 Par::Seq,
@@ -468,6 +785,21 @@ mod tests {
     }
 
     #[test]
+    fn parallel_tall_skinny_splits_rows() {
+        // BSOFI's 2N×N panel shape: narrower than the thread count is
+        // no longer a serialization point because the grid splits rows.
+        assert_eq!(thread_grid(4, 512, 8), (4, 1));
+        assert_eq!(thread_grid(4, 100, 100), (2, 2));
+        assert_eq!(thread_grid(1, 100, 100), (1, 1));
+        let pool = ThreadPool::new(4);
+        let a = test_matrix(256, 64, 22);
+        let b = test_matrix(64, 3, 23);
+        let seq = mul(&a, &b);
+        let par = mul_par(Par::Pool(&pool), &a, &b);
+        assert_close(&par, &seq, 1e-14);
+    }
+
+    #[test]
     fn gemm_on_submatrix_views() {
         let a = test_matrix(12, 12, 30);
         let b = test_matrix(12, 12, 31);
@@ -484,6 +816,30 @@ mod tests {
         let ab = mul(&a.block(3, 3, 6, 6), &b.block(3, 3, 6, 6));
         assert_close(&c.block(3, 3, 6, 6), &ab, 1e-13);
         assert_eq!(c[(0, 0)], 0.0, "outside the target block untouched");
+    }
+
+    #[test]
+    fn transposed_gemm_on_strided_views() {
+        // All four Op combos on interior views (ld > rows): the packing
+        // routines must honour the leading dimension.
+        let pa = test_matrix(25, 25, 33);
+        let pb = test_matrix(25, 25, 34);
+        let (m, k, n) = (9, 11, 6);
+        for (opa, opb) in ALL_OPS {
+            let av = match opa {
+                Op::NoTrans => pa.view(2, 3, m, k),
+                Op::Trans => pa.view(2, 3, k, m),
+            };
+            let bv = match opb {
+                Op::NoTrans => pb.view(4, 1, k, n),
+                Op::Trans => pb.view(4, 1, n, k),
+            };
+            let mut c = Matrix::zeros(20, 20);
+            gemm_op(Par::Seq, 1.0, opa, av, opb, bv, 0.0, c.view_mut(5, 7, m, n));
+            let want = naive(opa, &av.to_owned(), opb, &bv.to_owned());
+            assert_close(&c.block(5, 7, m, n), &want, 1e-13);
+            assert_eq!(c[(0, 0)], 0.0, "outside the target view untouched");
+        }
     }
 
     #[test]
@@ -504,6 +860,18 @@ mod tests {
         assert_close(&abc, &mul(&mul(&a, &b), &c), 1e-13);
         let single = chain_mul(Par::Seq, &[&a]);
         assert_close(&single, &a, 0.0);
+    }
+
+    #[test]
+    fn chain_mul_with_rectangular_factors() {
+        // Shape changes along the chain force the ping-pong to fall back
+        // to fresh allocations without corrupting the running product.
+        let a = test_matrix(5, 7, 43);
+        let b = test_matrix(7, 3, 44);
+        let c = test_matrix(3, 6, 45);
+        let d = test_matrix(6, 6, 46);
+        let abcd = chain_mul(Par::Seq, &[&a, &b, &c, &d]);
+        assert_close(&abcd, &mul(&mul(&mul(&a, &b), &c), &d), 1e-13);
     }
 
     #[test]

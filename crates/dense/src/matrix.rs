@@ -497,6 +497,14 @@ impl<'a> MatMut<'a> {
         unsafe { &mut *self.ptr.add(i + j * self.ld) }
     }
 
+    /// Raw base pointer of the view (element `(i, j)` lives at
+    /// `ptr + i + j·ld`). For the packed GEMM micro-kernel, which writes
+    /// an `MR × NR` register tile through raw pointers.
+    #[inline]
+    pub fn as_mut_ptr(&mut self) -> *mut f64 {
+        self.ptr
+    }
+
     /// A column as a mutable slice.
     #[inline]
     pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
@@ -580,6 +588,24 @@ impl<'a> MatMut<'a> {
         let mut rest = self;
         while rest.cols() > chunk {
             let (head, tail) = rest.split_at_col(chunk);
+            out.push(head);
+            rest = tail;
+        }
+        out.push(rest);
+        out
+    }
+
+    /// Splits into row panels of height `chunk` (last may be short).
+    ///
+    /// The row-split counterpart of [`MatMut::split_cols_chunks`]: the
+    /// parallel GEMM driver tiles C over an M×N thread grid so tall-skinny
+    /// outputs (BSOFI's 2N×N panels) still use every pool thread.
+    pub fn split_rows_chunks(self, chunk: usize) -> Vec<MatMut<'a>> {
+        assert!(chunk > 0);
+        let mut out = Vec::with_capacity(self.rows.div_ceil(chunk));
+        let mut rest = self;
+        while rest.rows() > chunk {
+            let (head, tail) = rest.split_at_row(chunk);
             out.push(head);
             rest = tail;
         }
@@ -713,6 +739,23 @@ mod tests {
         assert_eq!(chunks[2].cols(), 1);
         let total: usize = chunks.iter().map(|c| c.cols()).sum();
         assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn split_rows_chunks_covers_all() {
+        let mut m = Matrix::zeros(7, 2);
+        let mut chunks = m.as_mut().split_rows_chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(chunks[0].rows(), 3);
+        assert_eq!(chunks[2].rows(), 1);
+        let total: usize = chunks.iter().map(|c| c.rows()).sum();
+        assert_eq!(total, 7);
+        for (t, c) in chunks.iter_mut().enumerate() {
+            c.fill(t as f64);
+        }
+        assert_eq!(m[(2, 0)], 0.0);
+        assert_eq!(m[(3, 1)], 1.0);
+        assert_eq!(m[(6, 0)], 2.0);
     }
 
     #[test]

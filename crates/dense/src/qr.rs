@@ -12,10 +12,10 @@
 //! `H_j = I − τ_j·v_j·v_jᵀ`, `v_j` unit-diagonal and stored below the
 //! diagonal of the factored matrix, `R` in the upper triangle.
 
-use crate::blas::{gemv_t, ger, nrm2};
+use crate::blas::{axpy, gemv_t, ger, nrm2};
 use crate::gemm::{gemm_op_uncounted, Op};
 use crate::matrix::{MatMut, Matrix};
-use fsi_runtime::{flops, Par};
+use fsi_runtime::{flops, workspace, Par};
 
 /// Reflector block size for compact-WY application.
 const IB: usize = 32;
@@ -267,118 +267,142 @@ fn build_vt(qr: &Matrix, tau: &[f64], i0: usize, kb: usize) -> (Matrix, Matrix) 
     (v, t)
 }
 
-/// `C := (I − V·op(T)·Vᵀ)·C` — LARFB, left side.
+/// `C := (I − V·op(T)·Vᵀ)·C` — LARFB, left side. The `kb × n` reflector
+/// workspace is borrowed from the thread-local pool, so repeated block
+/// applications (BSOFI right-applies Qᵀ per factored panel) allocate
+/// nothing in steady state.
 fn larfb_left(par: Par<'_>, v: &Matrix, t: &Matrix, trans: bool, mut c: MatMut<'_>) {
     let kb = v.cols();
     let n = c.cols();
     // The enclosing GEQRF/ORMQR already charged its analytic flop total,
     // so these internal products must not charge again (uncounted).
-    // W := Vᵀ·C  (kb × n)
-    let mut w = Matrix::zeros(kb, n);
-    gemm_op_uncounted(
-        par,
-        1.0,
-        Op::Trans,
-        v.as_ref(),
-        Op::NoTrans,
-        c.as_ref(),
-        0.0,
-        w.as_mut(),
-    );
-    // W := op(T)·W  (small triangular multiply, in place).
-    trmm_upper(t, trans, &mut w);
-    // C := C − V·W
-    gemm_op_uncounted(
-        par,
-        -1.0,
-        Op::NoTrans,
-        v.as_ref(),
-        Op::NoTrans,
-        w.as_ref(),
-        1.0,
-        c.rb_mut(),
-    );
+    workspace::with_scratch(kb * n, |wbuf| {
+        let mut w = MatMut::from_slice(wbuf, kb, n, kb.max(1));
+        // W := Vᵀ·C  (kb × n)
+        gemm_op_uncounted(
+            par,
+            1.0,
+            Op::Trans,
+            v.as_ref(),
+            Op::NoTrans,
+            c.as_ref(),
+            0.0,
+            w.rb_mut(),
+        );
+        // W := op(T)·W  (small triangular multiply, in place).
+        trmm_upper(t, trans, w.rb_mut());
+        // C := C − V·W
+        gemm_op_uncounted(
+            par,
+            -1.0,
+            Op::NoTrans,
+            v.as_ref(),
+            Op::NoTrans,
+            w.as_ref(),
+            1.0,
+            c.rb_mut(),
+        );
+    });
 }
 
-/// `C := C·(I − V·op(T)·Vᵀ)` — LARFB, right side.
+/// `C := C·(I − V·op(T)·Vᵀ)` — LARFB, right side. Workspace borrowed from
+/// the thread-local pool, as in [`larfb_left`].
 fn larfb_right(par: Par<'_>, v: &Matrix, t: &Matrix, trans: bool, mut c: MatMut<'_>) {
     let kb = v.cols();
     let rows = c.rows();
-    // W := C·V  (rows × kb)
-    let mut w = Matrix::zeros(rows, kb);
-    gemm_op_uncounted(
-        par,
-        1.0,
-        Op::NoTrans,
-        c.as_ref(),
-        Op::NoTrans,
-        v.as_ref(),
-        0.0,
-        w.as_mut(),
-    );
-    // W := W·op(T): equivalently Wᵀ := op(T)ᵀ·Wᵀ; apply on the transposed
-    // triangle orientation.
-    trmm_upper_right(t, trans, &mut w);
-    // C := C − W·Vᵀ
-    gemm_op_uncounted(
-        par,
-        -1.0,
-        Op::NoTrans,
-        w.as_ref(),
-        Op::Trans,
-        v.as_ref(),
-        1.0,
-        c.rb_mut(),
-    );
+    workspace::with_scratch(rows * kb, |wbuf| {
+        let mut w = MatMut::from_slice(wbuf, rows, kb, rows.max(1));
+        // W := C·V  (rows × kb)
+        gemm_op_uncounted(
+            par,
+            1.0,
+            Op::NoTrans,
+            c.as_ref(),
+            Op::NoTrans,
+            v.as_ref(),
+            0.0,
+            w.rb_mut(),
+        );
+        // W := W·op(T): equivalently Wᵀ := op(T)ᵀ·Wᵀ; apply on the
+        // transposed triangle orientation.
+        trmm_upper_right(t, trans, w.rb_mut());
+        // C := C − W·Vᵀ
+        gemm_op_uncounted(
+            par,
+            -1.0,
+            Op::NoTrans,
+            w.as_ref(),
+            Op::Trans,
+            v.as_ref(),
+            1.0,
+            c.rb_mut(),
+        );
+    });
 }
 
-/// `W := op(T)·W` with `T` small upper triangular.
-fn trmm_upper(t: &Matrix, trans: bool, w: &mut Matrix) {
+/// `W := op(T)·W` with `T` small upper triangular, `W` a column-major
+/// view (columns processed as contiguous slices).
+fn trmm_upper(t: &Matrix, trans: bool, mut w: MatMut<'_>) {
     let kb = t.rows();
     for c in 0..w.cols() {
+        let col = w.col_mut(c);
         if !trans {
             // Top-down: w[i] = Σ_{p≥i} T[i,p]·w[p].
             for i in 0..kb {
                 let mut s = 0.0;
-                for p in i..kb {
-                    s += t[(i, p)] * w[(p, c)];
+                for (p, &wp) in col.iter().enumerate().take(kb).skip(i) {
+                    s += t[(i, p)] * wp;
                 }
-                w[(i, c)] = s;
+                col[i] = s;
             }
         } else {
             // Tᵀ is lower triangular: bottom-up.
             for i in (0..kb).rev() {
                 let mut s = 0.0;
-                for p in 0..=i {
-                    s += t[(p, i)] * w[(p, c)];
+                for (p, &wp) in col.iter().enumerate().take(i + 1) {
+                    s += t[(p, i)] * wp;
                 }
-                w[(i, c)] = s;
+                col[i] = s;
             }
         }
     }
 }
 
-/// `W := W·op(T)` with `T` small upper triangular.
-fn trmm_upper_right(t: &Matrix, trans: bool, w: &mut Matrix) {
+/// `W := W·op(T)` with `T` small upper triangular: column axpy streams
+/// (each result column is a combination of source columns, updated in an
+/// order that never reads an already-overwritten column).
+fn trmm_upper_right(t: &Matrix, trans: bool, mut w: MatMut<'_>) {
     let kb = t.rows();
-    for r in 0..w.rows() {
-        if !trans {
-            // Right multiply by upper triangle: columns right-to-left.
-            for j in (0..kb).rev() {
-                let mut s = 0.0;
-                for p in 0..=j {
-                    s += w[(r, p)] * t[(p, j)];
-                }
-                w[(r, j)] = s;
+    let rows = w.rows();
+    if !trans {
+        // W[:, j] := Σ_{p≤j} W[:, p]·T[p, j], right-to-left.
+        for j in (0..kb).rev() {
+            let tjj = t[(j, j)];
+            for x in w.col_mut(j) {
+                *x *= tjj;
             }
-        } else {
-            // Right multiply by Tᵀ (lower): columns left-to-right.
-            for j in 0..kb {
-                let mut s = 0.0;
-                for p in j..kb {
-                    s += w[(r, p)] * t[(j, p)];
+            for p in 0..j {
+                let tpj = t[(p, j)];
+                if tpj != 0.0 {
+                    let (left, mut right) = w.rb_mut().split_at_col(j);
+                    axpy(tpj, left.as_ref().col(p), right.col_mut(0));
                 }
-                w[(r, j)] = s;
+            }
+        }
+    } else {
+        // W[:, j] := Σ_{p≥j} W[:, p]·T[j, p], left-to-right.
+        for j in 0..kb {
+            let tjj = t[(j, j)];
+            for x in w.col_mut(j) {
+                *x *= tjj;
+            }
+            for p in j + 1..kb {
+                let tjp = t[(j, p)];
+                if tjp != 0.0 {
+                    let (mut left, right) = w.rb_mut().split_at_col(p);
+                    let mut target = left.rb_mut().submatrix(0, j, rows, 1);
+                    axpy(tjp, right.as_ref().col(0), target.col_mut(0));
+                }
             }
         }
     }

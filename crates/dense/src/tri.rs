@@ -12,9 +12,9 @@
 //! the inner loops are axpy/dot streams.
 
 use crate::blas::{axpy, dot};
-use crate::gemm::{gemm_op, Op};
+use crate::gemm::{gemm_op, gemm_op_uncounted, Op};
 use crate::matrix::{MatMut, MatRef};
-use fsi_runtime::{flops, Par};
+use fsi_runtime::{flops, workspace, Par};
 
 /// Diagonal-block size of the blocked substitutions: each `TB × TB`
 /// triangle is solved with the scalar kernel, and the off-diagonal
@@ -308,6 +308,15 @@ fn solve_unit_lower_right_unblocked(l: MatRef<'_>, mut b: MatMut<'_>) {
 /// In-place inversion of an upper triangle (entries below the diagonal are
 /// ignored and left untouched).
 ///
+/// Blocked column-sweep TRTRI: each `TB`-wide column block is computed as
+/// `X[0..j0, jb] = −X_lead · U[0..j0, jb] · X_diag`, where `X_lead` is the
+/// already-inverted leading triangle and `X_diag` the freshly inverted
+/// diagonal block. The leading product is assembled block-row by block-row
+/// (small dense trmm per diagonal block plus a GEMM accumulate), so almost
+/// all of the O(n³/3) work flows through the packed GEMM engine. Internal
+/// products use the uncounted entry point — the analytic `trtri` total is
+/// charged once up front, exactly as before.
+///
 /// # Panics
 /// Panics on an exactly zero diagonal entry.
 pub fn invert_upper(mut u: MatMut<'_>) {
@@ -315,8 +324,81 @@ pub fn invert_upper(mut u: MatMut<'_>) {
     assert_eq!(u.cols(), n, "invert_upper needs a square matrix");
     let _kernel = fsi_runtime::trace::kernel_span("trtri");
     flops::add_flops(flops::counts::trtri(n) * 2);
-    // Column-oriented TRTRI: for each column j compute X[0..j, j] from the
-    // already-inverted leading triangle.
+    if n <= TB {
+        invert_upper_unblocked(u);
+        return;
+    }
+    // W holds X_lead · U[0..j0, jb] (≤ n × TB); D is a dense, zero-lower
+    // copy of the inverted diagonal block.
+    workspace::with_scratch2(n * TB, TB * TB, |wbuf, dbuf| {
+        let mut j0 = 0;
+        while j0 < n {
+            let tb = TB.min(n - j0);
+            if j0 == 0 {
+                invert_upper_unblocked(u.rb_mut().submatrix(0, 0, tb, tb));
+                j0 += tb;
+                continue;
+            }
+            // W[0..j0, :] := X[0..j0, 0..j0] · U[0..j0, jb], built one
+            // block row at a time: the diagonal block of X is triangular
+            // (trmm), the part right of it is dense (gemm).
+            let mut w = MatMut::from_slice(&mut wbuf[..j0 * tb], j0, tb, j0);
+            let mut i0 = 0;
+            while i0 < j0 {
+                let ib = TB.min(j0 - i0);
+                trmm_upper_left(
+                    u.as_ref().submatrix(i0, i0, ib, ib),
+                    u.as_ref().submatrix(i0, j0, ib, tb),
+                    w.rb_mut().submatrix(i0, 0, ib, tb),
+                );
+                if i0 + ib < j0 {
+                    gemm_op_uncounted(
+                        Par::Seq,
+                        1.0,
+                        Op::NoTrans,
+                        u.as_ref().submatrix(i0, i0 + ib, ib, j0 - i0 - ib),
+                        Op::NoTrans,
+                        u.as_ref().submatrix(i0 + ib, j0, j0 - i0 - ib, tb),
+                        1.0,
+                        w.rb_mut().submatrix(i0, 0, ib, tb),
+                    );
+                }
+                i0 += ib;
+            }
+            invert_upper_unblocked(u.rb_mut().submatrix(j0, j0, tb, tb));
+            let mut d = MatMut::from_slice(&mut dbuf[..tb * tb], tb, tb, tb);
+            for jj in 0..tb {
+                for ii in 0..tb {
+                    let v = if ii <= jj {
+                        u.at(j0 + ii, j0 + jj)
+                    } else {
+                        0.0
+                    };
+                    d.set(ii, jj, v);
+                }
+            }
+            // X[0..j0, jb] := −W · X_diag.
+            gemm_op_uncounted(
+                Par::Seq,
+                -1.0,
+                Op::NoTrans,
+                w.as_ref(),
+                Op::NoTrans,
+                d.as_ref(),
+                0.0,
+                u.rb_mut().submatrix(0, j0, j0, tb),
+            );
+            j0 += tb;
+        }
+    });
+}
+
+/// Scalar column-oriented TRTRI on a diagonal block (flops are charged by
+/// the blocked caller).
+fn invert_upper_unblocked(mut u: MatMut<'_>) {
+    let n = u.rows();
+    // For each column j compute X[0..j, j] from the already-inverted
+    // leading triangle.
     for j in 0..n {
         let ujj = u.at(j, j);
         assert!(ujj != 0.0, "singular upper triangle at {j}");
@@ -334,6 +416,23 @@ pub fn invert_upper(mut u: MatMut<'_>) {
                 s += u.at(i, p) * vp;
             }
             u.set(i, j, -xjj * s);
+        }
+    }
+}
+
+/// `out := triu(T)·B` for one inverted `≤ TB` diagonal block (dense
+/// small-operand trmm; flops are part of the caller's analytic charge).
+fn trmm_upper_left(t: MatRef<'_>, b: MatRef<'_>, mut out: MatMut<'_>) {
+    let nb = t.rows();
+    for c in 0..b.cols() {
+        let bcol = b.col(c);
+        let ocol = out.col_mut(c);
+        for (i, oi) in ocol.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for p in i..nb {
+                s += t.at(i, p) * bcol[p];
+            }
+            *oi = s;
         }
     }
 }
@@ -422,14 +521,41 @@ mod tests {
 
     #[test]
     fn invert_upper_gives_inverse() {
-        let u = upper(25, 9);
-        let mut x = u.clone();
-        invert_upper(x.as_mut());
-        // Zero out the (ignored) strict lower part before multiplying.
-        let x = Matrix::from_fn(25, 25, |i, j| if i <= j { x[(i, j)] } else { 0.0 });
-        let mut prod = mul(&u, &x);
-        prod.add_diag(-1.0);
-        assert!(prod.max_abs() < 1e-12, "U·U⁻¹ ≉ I: {}", prod.max_abs());
+        // 25 stays on the scalar path; 150 runs the blocked column sweep
+        // over several TB-wide panels.
+        for (n, seed) in [(25, 9), (150, 10)] {
+            let u = upper(n, seed);
+            let mut x = u.clone();
+            invert_upper(x.as_mut());
+            // Zero out the (ignored) strict lower part before multiplying.
+            let x = Matrix::from_fn(n, n, |i, j| if i <= j { x[(i, j)] } else { 0.0 });
+            let mut prod = mul(&u, &x);
+            prod.add_diag(-1.0);
+            assert!(
+                prod.max_abs() < 1e-12,
+                "U·U⁻¹ ≉ I at n={n}: {}",
+                prod.max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn invert_upper_leaves_lower_part_untouched() {
+        let n = 130;
+        let u = upper(n, 13);
+        let mut full = test_matrix(n, n, 14);
+        for j in 0..n {
+            for i in 0..=j {
+                full[(i, j)] = u[(i, j)];
+            }
+        }
+        let below = Matrix::from_fn(n, n, |i, j| if i > j { full[(i, j)] } else { 0.0 });
+        invert_upper(full.as_mut());
+        for j in 0..n {
+            for i in j + 1..n {
+                assert_eq!(full[(i, j)], below[(i, j)], "lower ({i},{j}) changed");
+            }
+        }
     }
 
     #[test]

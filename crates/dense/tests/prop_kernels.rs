@@ -90,6 +90,54 @@ proptest! {
     }
 
     #[test]
+    fn packed_gemm_matches_naive_triple_loop(
+        m in 1usize..48,
+        k in 1usize..48,
+        n in 1usize..48,
+        a_trans in any::<bool>(),
+        b_trans in any::<bool>(),
+        alpha in -2.0f64..2.0,
+        beta in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        // The packed/register-blocked engine against the textbook triple
+        // loop, over all four Op combos, arbitrary alpha/beta, and shapes
+        // small enough to hit every MR/NR remainder case.
+        let (ar, ac) = if a_trans { (k, m) } else { (m, k) };
+        let (br, bc) = if b_trans { (n, k) } else { (k, n) };
+        let a = test_matrix(ar, ac, seed);
+        let b = test_matrix(br, bc, seed ^ 5);
+        let c0 = test_matrix(m, n, seed ^ 6);
+        let mut want = c0.clone();
+        for j in 0..n {
+            for i in 0..m {
+                let mut s = 0.0;
+                for p in 0..k {
+                    let av = if a_trans { a[(p, i)] } else { a[(i, p)] };
+                    let bv = if b_trans { b[(j, p)] } else { b[(p, j)] };
+                    s += av * bv;
+                }
+                want[(i, j)] = beta * want[(i, j)] + alpha * s;
+            }
+        }
+        let opa = if a_trans { Op::Trans } else { Op::NoTrans };
+        let opb = if b_trans { Op::Trans } else { Op::NoTrans };
+        let mut got = c0.clone();
+        gemm_op(Par::Seq, alpha, opa, a.as_ref(), opb, b.as_ref(), beta, got.as_mut());
+        for j in 0..n {
+            for i in 0..m {
+                let d = (got[(i, j)] - want[(i, j)]).abs();
+                prop_assert!(
+                    d < 1e-13 * (1.0 + want[(i, j)].abs() + (k as f64)),
+                    "({i},{j}): packed {} vs naive {}",
+                    got[(i, j)],
+                    want[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
     fn gemm_transpose_consistency(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in any::<u64>()) {
         // (A·B)ᵀ = Bᵀ·Aᵀ via the TT path.
         let a = test_matrix(m, k, seed);

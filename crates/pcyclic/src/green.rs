@@ -19,7 +19,7 @@
 //! table (§II-C): computing b block columns this way costs `bL²N³` flops,
 //! the factor-of-L overhead FSI eliminates.
 
-use fsi_dense::{getrf, mul_par, Matrix};
+use fsi_dense::{chain_mul, getrf, Matrix};
 use fsi_runtime::Par;
 
 use crate::pcyclic::BlockPCyclic;
@@ -28,13 +28,18 @@ use crate::pcyclic::BlockPCyclic;
 /// `b[from]·b[from−1]⋯` (`count = 0` gives the identity).
 pub fn cyclic_product_desc(par: Par<'_>, pc: &BlockPCyclic, from: usize, count: usize) -> Matrix {
     assert!(count <= pc.l(), "at most L factors in a cyclic product");
-    let mut acc = Matrix::identity(pc.n());
+    if count == 0 {
+        return Matrix::identity(pc.n());
+    }
     let mut idx = from % pc.l();
+    let mut factors = Vec::with_capacity(count);
     for _ in 0..count {
-        acc = mul_par(par, &acc, pc.block(idx));
+        factors.push(pc.block(idx));
         idx = pc.up(idx);
     }
-    acc
+    // chain_mul's ping-pong buffers bound the allocation count at two, no
+    // matter how long the descent is (this runs L times per W matrix).
+    chain_mul(par, &factors)
 }
 
 /// The full cyclic product `P(k) = b[k]·b[k−1]⋯b[k−L+1]` (all `L` factors).

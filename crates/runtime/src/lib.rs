@@ -23,6 +23,9 @@
 //!   same rates without hardware performance counters.
 //! * [`timing`] — stopwatches and named-section profiles used by the
 //!   figure-regeneration harnesses.
+//! * [`workspace`] — thread-local reusable scratch buffers: the packed
+//!   GEMM engine and the blocked QR application borrow their pack/reflector
+//!   workspaces from a per-thread pool instead of allocating per call.
 //! * [`trace`] — structured tracing: hierarchical spans with span-scoped
 //!   flop/byte counters, log-bucket latency histograms, pool utilization,
 //!   and NDJSON / Chrome `trace_event` exporters. Enabled with `FSI_TRACE`
@@ -41,6 +44,7 @@ pub mod pool;
 pub mod sim;
 pub mod timing;
 pub mod trace;
+pub mod workspace;
 
 #[allow(deprecated)] // shims kept for external callers of the old API
 pub use flops::{flop_count, reset_flops, FlopCounter};

@@ -1,0 +1,109 @@
+//! Thread-local reusable scratch buffers for kernel workspaces.
+//!
+//! The packed GEMM engine needs two pack buffers (an `MC × KC` panel of A
+//! and a `KC × NC` panel of B) on every call, and the blocked QR
+//! application needs a `kb × n` reflector workspace per block. Allocating
+//! those with `Vec` on every kernel invocation puts an allocator
+//! round-trip on the hottest path of the workspace; this module instead
+//! keeps a small per-thread pool of `f64` buffers that kernels borrow for
+//! the duration of one call.
+//!
+//! The pool is a stack: [`with_scratch`] pops a buffer (allocating only if
+//! the pool is empty), grows it if needed, hands it to the closure, and
+//! pushes it back afterwards. Nested borrows simply pop further buffers,
+//! so the mechanism is reentrancy-safe — a kernel that borrows scratch may
+//! call another kernel that borrows scratch — and pool worker threads
+//! (which persist across [`crate::ThreadPool::scope`] calls) reuse their
+//! buffers across every job they run.
+//!
+//! Buffer contents are **not** cleared between borrows: callers must treat
+//! the slice as uninitialized garbage and overwrite every element they
+//! read back (the pack routines and `beta = 0` accumulations do exactly
+//! that). Newly grown regions are zero-filled only because `Vec::resize`
+//! requires a fill value.
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread stack of reusable buffers. Depth is bounded by the
+    /// deepest nesting of `with_scratch` calls (≤ 3 in this workspace:
+    /// B-pack > A-pack, or LARFB workspace > pack pair).
+    static SCRATCH: RefCell<Vec<Vec<f64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrows a thread-local scratch slice of `len` `f64`s for the duration
+/// of `f`.
+///
+/// The slice contents are unspecified on entry (stale data from a previous
+/// borrow); the caller must overwrite before reading. Reentrant: `f` may
+/// itself call [`with_scratch`].
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    }
+    let out = f(&mut buf[..len]);
+    SCRATCH.with(|s| s.borrow_mut().push(buf));
+    out
+}
+
+/// Borrows two independent thread-local scratch slices at once (the
+/// pack-buffer pair of the GEMM engine).
+pub fn with_scratch2<R>(
+    len_a: usize,
+    len_b: usize,
+    f: impl FnOnce(&mut [f64], &mut [f64]) -> R,
+) -> R {
+    with_scratch(len_a, |a| with_scratch(len_b, |b| f(a, b)))
+}
+
+/// Drops every buffer cached by the calling thread (tests and
+/// memory-sensitive harnesses).
+pub fn clear_thread_scratch() {
+    SCRATCH.with(|s| s.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_has_requested_length() {
+        with_scratch(17, |s| assert_eq!(s.len(), 17));
+        with_scratch(3, |s| assert_eq!(s.len(), 3));
+    }
+
+    #[test]
+    fn buffers_are_reused_across_calls() {
+        clear_thread_scratch();
+        let p1 = with_scratch(64, |s| {
+            s.fill(1.0);
+            s.as_ptr() as usize
+        });
+        let p2 = with_scratch(64, |s| s.as_ptr() as usize);
+        assert_eq!(p1, p2, "second borrow reuses the pooled allocation");
+    }
+
+    #[test]
+    fn nested_borrows_are_distinct() {
+        with_scratch(8, |a| {
+            a.fill(1.0);
+            with_scratch(8, |b| {
+                b.fill(2.0);
+                assert!(a.iter().all(|&x| x == 1.0));
+            });
+            assert!(a.iter().all(|&x| x == 1.0));
+        });
+    }
+
+    #[test]
+    fn scratch2_gives_disjoint_slices() {
+        with_scratch2(10, 20, |a, b| {
+            assert_eq!(a.len(), 10);
+            assert_eq!(b.len(), 20);
+            a.fill(-1.0);
+            b.fill(3.0);
+            assert!(a.iter().all(|&x| x == -1.0));
+        });
+    }
+}

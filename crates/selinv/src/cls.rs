@@ -23,7 +23,7 @@
 //! Bai–Chen–Scalettar–Yamazaki and recommends `c ≈ √L`). The
 //! `ablation_cluster_size` bench sweeps this trade-off.
 
-use fsi_dense::{mul_par, Matrix};
+use fsi_dense::{chain_mul, Matrix};
 use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::{parallel_map, Par, Schedule};
 
@@ -102,15 +102,17 @@ pub fn cls(
 
 /// Descending cyclic product of `count` blocks starting at `from`:
 /// `b[from]·b[from−1]⋯` (left-to-right accumulation, matching the paper's
-/// chain order).
+/// chain order). Delegates to [`chain_mul`], whose ping-pong buffers keep
+/// a `c`-factor chain at two allocations instead of one per factor.
 fn cluster_product(par: Par<'_>, pc: &BlockPCyclic, from: usize, count: usize) -> Matrix {
     let mut idx = from % pc.l();
-    let mut acc = pc.block(idx).clone();
+    let mut factors = Vec::with_capacity(count);
+    factors.push(pc.block(idx));
     for _ in 1..count {
         idx = pc.up(idx);
-        acc = mul_par(par, &acc, pc.block(idx));
+        factors.push(pc.block(idx));
     }
-    acc
+    chain_mul(par, &factors)
 }
 
 /// Closed-form flop count of the clustering stage (paper §II-C):
