@@ -1,20 +1,51 @@
 #!/usr/bin/env bash
-# Non-gating kernel-performance smoke: times the packed GEMM engine (all
-# four Op paths) plus the cls/bsofi/wrap FSI stages at tiny sizes and
-# writes results/BENCH_kernels.json (size, Gflop/s, trace-measured flops).
+# Non-gating performance smoke: times the packed GEMM engine (all four Op
+# paths) plus the cls/bsofi/wrap FSI stages and writes
+# results/BENCH_kernels.json, then times the DQMC sweep hot path (wrap
+# strategies, incremental refresh, spin-joined sweep) and writes
+# results/BENCH_sweep.json.
 #
-# The binary asserts the span-measured flops of each timed gemm equal the
-# analytic counts::gemm model exactly, so a silent attribution regression
-# still fails this script — but a *slow* machine does not: throughput
-# numbers are recorded, never compared against a threshold here.
+# The binaries assert structural invariants (span-measured flops match the
+# analytic models; the checkerboard wrap beats the dense wrap >= 2x; warm
+# refreshes score cluster-cache hits), so silent attribution or caching
+# regressions still fail this script — but a *slow* machine does not:
+# throughput numbers are recorded, never compared against a threshold.
 #
-# Usage: ci/bench_smoke.sh [--label=NAME] [--out=PATH] [sizes=64,128,256]
-#   (extra args pass straight through to the bench_smoke binary)
+# Usage: ci/bench_smoke.sh [--label=NAME] [--out=PATH] [--sweep-out=PATH]
+#   [sizes=64,128,256] ...
+# Args other than --sweep-out pass through to bench_smoke; bench_sweep gets
+# the --label plus --sweep-out as its --out (default: --out with a .sweep
+# suffix, or results/BENCH_sweep.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+SMOKE_ARGS=()
+SWEEP_OUT=""
+LABEL_ARG=""
+for arg in "$@"; do
+  case "$arg" in
+    --sweep-out=*) SWEEP_OUT="${arg#--sweep-out=}" ;;
+    --label=*)
+      LABEL_ARG="$arg"
+      SMOKE_ARGS+=("$arg")
+      ;;
+    --out=*)
+      if [ -z "$SWEEP_OUT" ]; then
+        SWEEP_OUT="${arg#--out=}"
+        SWEEP_OUT="${SWEEP_OUT%.json}.sweep.json"
+      fi
+      SMOKE_ARGS+=("$arg")
+      ;;
+    *) SMOKE_ARGS+=("$arg") ;;
+  esac
+done
+[ -n "$SWEEP_OUT" ] || SWEEP_OUT="results/BENCH_sweep.json"
+
 echo "== cargo build --release -p fsi-bench =="
-cargo build --offline --release -p fsi-bench --bin bench_smoke
+cargo build --offline --release -p fsi-bench --bin bench_smoke --bin bench_sweep
 
 echo "== bench_smoke =="
-./target/release/bench_smoke "$@"
+./target/release/bench_smoke ${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}
+
+echo "== bench_sweep =="
+./target/release/bench_sweep ${LABEL_ARG:+"$LABEL_ARG"} "--out=$SWEEP_OUT"

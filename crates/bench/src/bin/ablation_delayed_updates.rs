@@ -50,6 +50,7 @@ fn main() {
             c,
             stabilize_every: c,
             delay,
+            ..SweepConfig::default()
         };
         let mut sweeper = Sweeper::new(&builder, field.clone(), cfg);
         let mut rng = ChaCha8Rng::seed_from_u64(99);

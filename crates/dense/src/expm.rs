@@ -125,13 +125,30 @@ pub fn expm_diag(alpha: f64, d: &[f64]) -> Matrix {
 }
 
 /// Scales the columns of `A` in place by `e^{αdⱼ}` — i.e. `A := A·e^{αD}` —
-/// avoiding the diagonal GEMM when building Hubbard blocks.
+/// avoiding the diagonal GEMM when building Hubbard blocks. Each `exp()` is
+/// evaluated once per column (`n` transcendental calls total, not `n²`).
 pub fn scale_cols_exp(a: &mut Matrix, alpha: f64, d: &[f64]) {
     assert_eq!(a.cols(), d.len(), "scale_cols_exp dimension mismatch");
     for (j, &dj) in d.iter().enumerate() {
         let f = (alpha * dj).exp();
         let mut col = a.view_mut(0, j, a.rows(), 1);
         col.scale(f);
+    }
+}
+
+/// Scales the rows of `A` in place by `e^{αdᵢ}` — i.e. `A := e^{αD}·A`.
+///
+/// The `n` scale factors are precomputed once, so the cost is `n`
+/// transcendental calls plus one multiply per element (the column-major
+/// sweep keeps the inner loop contiguous).
+pub fn scale_rows_exp(a: &mut Matrix, alpha: f64, d: &[f64]) {
+    let rows = a.rows();
+    assert_eq!(rows, d.len(), "scale_rows_exp dimension mismatch");
+    let factors: Vec<f64> = d.iter().map(|&x| (alpha * x).exp()).collect();
+    for col in a.as_mut_slice().chunks_exact_mut(rows) {
+        for (x, f) in col.iter_mut().zip(&factors) {
+            *x *= f;
+        }
     }
 }
 
@@ -228,6 +245,12 @@ mod tests {
         let mut scaled = a.clone();
         scale_cols_exp(&mut scaled, 0.5, &d);
         let want = mul(&a, &e);
+        assert!(crate::norms::rel_error(&scaled, &want) < 1e-15);
+        // scale_rows_exp equals a left-multiply by the diagonal exp.
+        let a = test_matrix(3, 4, 8);
+        let mut scaled = a.clone();
+        scale_rows_exp(&mut scaled, 0.5, &d);
+        let want = mul(&e, &a);
         assert!(crate::norms::rel_error(&scaled, &want) < 1e-15);
     }
 

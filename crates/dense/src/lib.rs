@@ -42,7 +42,7 @@ pub mod tri;
 
 pub use cond::{cond1_estimate, norm1_inv_estimate};
 pub use error::{DenseError, Result};
-pub use expm::{expm, expm_diag, expm_par};
+pub use expm::{expm, expm_diag, expm_par, scale_cols_exp, scale_rows_exp};
 pub use gemm::{chain_mul, gemm, gemm_op, mul, mul_par, test_matrix, Op};
 pub use lu::{getrf, getrf_par, inverse, inverse_par, solve, LuFactor};
 pub use matrix::{MatMut, MatRef, Matrix};

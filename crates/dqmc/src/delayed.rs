@@ -124,20 +124,21 @@ impl DelayedUpdates {
     pub fn push(&mut self, g0: &Matrix, i: usize, gamma: f64, r: f64) {
         assert!(!self.is_full(), "flush before pushing more updates");
         let m = self.m;
-        let mut col = vec![0.0; self.n];
-        self.col(g0, i, &mut col);
-        let mut row = vec![0.0; self.n];
-        self.row(g0, i, &mut row);
-        // Ĝ' = Ĝ − (γ/R)·(e_i − Ĝe_i)·(e_iᵀĜ):
-        //   u_m = -(γ/R) ... fold the scalar into v to keep u simple:
-        //   u_m = e_i − col_i,  v_m = -(γ/R)·row_i... sign: the update is
-        //   Ĝ' = Ĝ − (γ/R)(e_i − col)(rowᵀ)  → u = e_i − col, v = −(γ/R)row.
-        let coef = -gamma / r;
-        for j in 0..self.n {
-            self.u[(j, m)] = -col[j];
-            self.v[(j, m)] = coef * row[j];
-        }
-        self.u[(i, m)] += 1.0;
+        let n = self.n;
+        // Effective column/row land in thread-local scratch — push sits
+        // on the per-acceptance hot path, so no allocator round-trips.
+        fsi_runtime::workspace::with_scratch2(n, n, |col, row| {
+            self.col(g0, i, col);
+            self.row(g0, i, row);
+            // Ĝ' = Ĝ − (γ/R)·(e_i − Ĝe_i)·(e_iᵀĜ):
+            //   u_m = e_i − col_i,  v_m = −(γ/R)·row_i.
+            let coef = -gamma / r;
+            for j in 0..n {
+                self.u[(j, m)] = -col[j];
+                self.v[(j, m)] = coef * row[j];
+            }
+            self.u[(i, m)] += 1.0;
+        });
         self.m += 1;
     }
 

@@ -34,5 +34,5 @@ pub use meas::{
     uniform_xy_susceptibility, Accumulator, EqualTime, SpxxTable,
 };
 pub use sim::{run, DqmcConfig, DqmcResults};
-pub use stable::{equal_time_green_naive, equal_time_green_stable};
-pub use sweep::{SweepConfig, SweepStats, Sweeper};
+pub use stable::{equal_time_green_cached, equal_time_green_naive, equal_time_green_stable};
+pub use sweep::{wrap_dense, wrap_factored, SweepConfig, SweepStats, Sweeper, WrapStrategy};

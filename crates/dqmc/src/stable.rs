@@ -18,7 +18,7 @@
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::Par;
-use fsi_selinv::{bsofi, cls};
+use fsi_selinv::{bsofi, cls, ClusterCache};
 
 /// Stable `G(k, k)` via clustering + BSOFI (Hirsch/BCR route).
 ///
@@ -41,6 +41,41 @@ pub fn equal_time_green_stable(
     let o = k % c;
     let q = c - 1 - o;
     let clustered = cls(par_outer, par_inner, pc, c, q);
+    let g_reduced = bsofi(par_outer, par_inner, &clustered.reduced);
+    let k0 = clustered
+        .to_reduced(k)
+        .expect("k is a seed row by construction");
+    clustered.reduced.dense_block(&g_reduced, k0, k0)
+}
+
+/// [`equal_time_green_stable`] with incremental clustering: the CLS stage
+/// goes through `cache`, recomputing only the cluster products with a
+/// dirty constituent slice (see [`fsi_selinv::ClusterCache`]). BSOFI and
+/// the block extraction are unchanged — they depend on every cluster, so
+/// there is nothing to reuse there.
+///
+/// Cache hits require the anchor residue `k mod c` to repeat across calls
+/// (DQMC: `c | stabilize_every`); a changed residue re-keys the cache and
+/// this call degenerates to a cold [`equal_time_green_stable`], bitwise.
+///
+/// # Panics
+/// Panics unless `c` divides `L`, `k < L`, and
+/// `dirty.len() == blocks.len()`.
+pub fn equal_time_green_cached(
+    par_outer: Par<'_>,
+    par_inner: Par<'_>,
+    blocks: &[Matrix],
+    dirty: &[bool],
+    cache: &mut ClusterCache,
+    k: usize,
+    c: usize,
+) -> Matrix {
+    let l = blocks.len();
+    assert!(l.is_multiple_of(c), "cluster size must divide L");
+    assert!(k < l, "slice index out of range");
+    let o = k % c;
+    let q = c - 1 - o;
+    let (clustered, _rebuilt) = cache.cls(par_outer, par_inner, blocks, dirty, c, q);
     let g_reduced = bsofi(par_outer, par_inner, &clustered.reduced);
     let k0 = clustered
         .to_reduced(k)
@@ -87,6 +122,34 @@ mod tests {
             let naive = equal_time_green_naive(Par::Seq, &pc, k);
             assert!(rel_error(&stable, &naive) < 1e-9, "k={k}");
         }
+    }
+
+    #[test]
+    fn cached_green_matches_uncached_bitwise() {
+        let builder =
+            BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8));
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(6);
+        let mut field = HsField::random(8, 4, &mut rng);
+        let mut cache = fsi_selinv::ClusterCache::new();
+        // Cold call, then a warm call after flipping a couple of slices —
+        // both must equal the uncached computation bitwise.
+        for (round, flips) in [vec![], vec![(2usize, 1usize), (3, 0)]]
+            .into_iter()
+            .enumerate()
+        {
+            let mut dirty = [false; 8];
+            for (sl, site) in flips {
+                field.flip(sl, site);
+                dirty[sl] = true;
+            }
+            let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
+            let k = 3; // fixed residue so the warm call can reuse products
+            let got =
+                equal_time_green_cached(Par::Seq, Par::Seq, pc.blocks(), &dirty, &mut cache, k, 4);
+            let want = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4);
+            assert_eq!(got.as_slice(), want.as_slice(), "round {round} not bitwise");
+        }
+        assert!(cache.hits() > 0, "warm round must reuse clusters");
     }
 
     #[test]

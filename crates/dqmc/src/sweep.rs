@@ -24,13 +24,44 @@
 //! round-off, so every `stabilize_every` slices the state is recomputed
 //! from scratch through the CLS + BSOFI route of [`crate::stable`] — this
 //! is precisely where FSI accelerates the sweep phase.
+//!
+//! Three structure exploitations keep the hot path lean:
+//!
+//! * **Factored wraps** ([`wrap_factored`]): `B = e^{tΔτK}·D` with
+//!   `D = diag(e^{σνh})`, so the wrap is a diagonal similarity
+//!   (`Ĝ[i,j] ← Ĝ[i,j]·d_i/d_j`, two `exp` calls total since `h ∈ {±1}`)
+//!   followed by the kinetic conjugation — two scratch-buffered GEMMs, or
+//!   `O(N·bonds)` bond sweeps when the builder carries a
+//!   [`fsi_pcyclic::Checkerboard`]. No `B`/`B⁻¹` is materialized.
+//! * **Incremental stabilization**: dense blocks and CLS cluster products
+//!   are cached per spin ([`fsi_pcyclic::BlockCache`],
+//!   [`fsi_selinv::ClusterCache`]) and only the slices flipped since the
+//!   previous refresh are recomputed (dirty-slice tracking).
+//! * **Spin-parallel phases**: the up/down channels of refresh, wrap, and
+//!   delayed-update flush are independent and run as a two-way
+//!   [`fsi_runtime::join`] over the pool, nested with the per-spin
+//!   outer/inner parallelism.
 
-use fsi_dense::{blas, Matrix};
-use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
-use fsi_selinv::Parallelism;
+use fsi_dense::{blas, gemm_op, MatMut, MatRef, Matrix, Op};
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, BlockCache, HsField, Spin};
+use fsi_runtime::{trace, workspace, Par};
+use fsi_selinv::{ClusterCache, Parallelism};
 use rand::Rng;
 
-use crate::stable::equal_time_green_stable;
+use crate::stable::{equal_time_green_cached, equal_time_green_stable};
+
+/// How the similarity wrap `Ĝ ← B·Ĝ·B⁻¹` applies the propagator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WrapStrategy {
+    /// Materialize `B` and `B⁻¹` and run two dense GEMMs (the baseline;
+    /// two fresh `N×N` allocations per slice per spin).
+    Dense,
+    /// Exploit `B = e^{tΔτK}·D`: diagonal similarity + kinetic
+    /// conjugation through preallocated scratch, with the checkerboard
+    /// bond sweep when the builder has one. Identical result up to
+    /// round-off-level reassociation.
+    Factored,
+}
 
 /// Tuning knobs of the sweep engine.
 #[derive(Clone, Copy, Debug)]
@@ -38,12 +69,24 @@ pub struct SweepConfig {
     /// Cluster size for the stabilized recomputation (`c ≈ √L`).
     pub c: usize,
     /// Recompute `Ĝ` from scratch after this many wraps (QUEST-style
-    /// `nwrap`; sweeps always refresh at their start as well).
+    /// `nwrap`; sweeps always refresh at their start as well). Keep it a
+    /// multiple of `c` — the incremental cluster cache only scores hits
+    /// when consecutive refreshes anchor on the same `k mod c` residue.
     pub stabilize_every: usize,
     /// Delayed-update batch size: accepted flips are accumulated as
     /// low-rank factors and flushed into `Ĝ` with one rank-`delay` GEMM
     /// (see [`crate::delayed`]). `1` = plain immediate rank-1 updates.
     pub delay: usize,
+    /// Wrap implementation; [`WrapStrategy::Factored`] by default.
+    pub wrap: WrapStrategy,
+    /// Reuse blocks/cluster products across stabilizations via
+    /// dirty-slice tracking (bitwise-identical to cold rebuilds; on by
+    /// default).
+    pub incremental: bool,
+    /// Measure `‖Ĝ_wrapped − Ĝ_fresh‖_max` at stabilization points into
+    /// [`SweepStats::max_drift`]. Off by default — the diagnostic keeps
+    /// the wrapped pair alive across the refresh.
+    pub track_drift: bool,
 }
 
 impl Default for SweepConfig {
@@ -52,6 +95,9 @@ impl Default for SweepConfig {
             c: 4,
             stabilize_every: 8,
             delay: 1,
+            wrap: WrapStrategy::Factored,
+            incremental: true,
+            track_drift: false,
         }
     }
 }
@@ -90,6 +136,14 @@ pub struct Sweeper<'a> {
     /// Monte Carlo weight sign tracked across accepted flips.
     sign: f64,
     wraps_since_stab: usize,
+    /// Slices with at least one accepted flip since the last refresh;
+    /// read by both spins' caches during the joined refresh, cleared
+    /// afterwards.
+    dirty: Vec<bool>,
+    /// Per-spin dense-block caches (`[up, down]`).
+    block_caches: [BlockCache; 2],
+    /// Per-spin cluster-product caches (`[up, down]`).
+    cluster_caches: [ClusterCache; 2],
 }
 
 impl<'a> Sweeper<'a> {
@@ -107,6 +161,7 @@ impl<'a> Sweeper<'a> {
             "field/lattice N mismatch"
         );
         let n = field.sites();
+        let l = field.slices();
         let mut s = Sweeper {
             builder,
             field,
@@ -114,6 +169,9 @@ impl<'a> Sweeper<'a> {
             g: [Matrix::zeros(n, n), Matrix::zeros(n, n)],
             sign: 1.0,
             wraps_since_stab: 0,
+            dirty: vec![false; l],
+            block_caches: [BlockCache::new(), BlockCache::new()],
+            cluster_caches: [ClusterCache::new(), ClusterCache::new()],
         };
         s.refresh(0, Parallelism::Serial);
         s
@@ -139,15 +197,59 @@ impl<'a> Sweeper<'a> {
     ///
     /// `Ĝ(slice) = G(slice − 1)`: the cyclic product ends with
     /// `B_slice` as its innermost factor.
+    ///
+    /// The two spin channels run as a joined pair over the pool; with
+    /// `cfg.incremental` the block and cluster caches limit the rebuild
+    /// to slices flipped since the previous refresh.
     pub fn refresh(&mut self, slice: usize, par: Parallelism<'_>) {
         let l = self.builder.params().l;
         let k = (slice + l - 1) % l;
         let (outer, inner) = par.split();
-        for spin in Spin::BOTH {
-            let pc = hubbard_pcyclic(self.builder, &self.field, spin);
-            self.g[spin_idx(spin)] = equal_time_green_stable(outer, inner, &pc, k, self.cfg.c);
+        let c = self.cfg.c;
+        let builder = self.builder;
+        let field = &self.field;
+        if self.cfg.incremental {
+            let dirty = &self.dirty;
+            let [bc_up, bc_dn] = &mut self.block_caches;
+            let [cc_up, cc_dn] = &mut self.cluster_caches;
+            let (g_up, g_dn) = spin_join(
+                par,
+                move || {
+                    bc_up.sync(builder, field, Spin::Up, dirty);
+                    equal_time_green_cached(outer, inner, bc_up.blocks(), dirty, cc_up, k, c)
+                },
+                move || {
+                    bc_dn.sync(builder, field, Spin::Down, dirty);
+                    equal_time_green_cached(outer, inner, bc_dn.blocks(), dirty, cc_dn, k, c)
+                },
+            );
+            self.g = [g_up, g_dn];
+        } else {
+            let (g_up, g_dn) = spin_join(
+                par,
+                || {
+                    let pc = hubbard_pcyclic(builder, field, Spin::Up);
+                    equal_time_green_stable(outer, inner, &pc, k, c)
+                },
+                || {
+                    let pc = hubbard_pcyclic(builder, field, Spin::Down);
+                    equal_time_green_stable(outer, inner, &pc, k, c)
+                },
+            );
+            self.g = [g_up, g_dn];
         }
+        self.dirty.iter_mut().for_each(|d| *d = false);
         self.wraps_since_stab = 0;
+    }
+
+    /// `(hits, misses)` summed over both spins' cluster caches since
+    /// construction — the counters the bench and the acceptance criterion
+    /// ("warm refresh recomputes strictly fewer products") read.
+    pub fn cluster_cache_stats(&self) -> (u64, u64) {
+        (
+            self.cluster_caches.iter().map(ClusterCache::hits).sum(),
+            self.cluster_caches.iter().map(ClusterCache::misses).sum(),
+        )
     }
 
     /// The Metropolis ratio factors `(R_↑, R_↓)` for flipping
@@ -165,7 +267,7 @@ impl<'a> Sweeper<'a> {
     }
 
     /// Applies the accepted flip at `(slice, i)`: Sherman–Morrison update
-    /// of both `Ĝ_σ`, field flip, sign bookkeeping.
+    /// of both `Ĝ_σ`, field flip, dirty-slice marking, sign bookkeeping.
     fn apply_flip(&mut self, slice: usize, i: usize, r_up: f64, r_dn: f64) {
         let nu = self.builder.nu();
         let h = self.field.get(slice, i);
@@ -174,29 +276,34 @@ impl<'a> Sweeper<'a> {
             let gamma = (-2.0 * spin.sign() * nu * h).exp() - 1.0;
             let g = &mut self.g[spin_idx(spin)];
             // u = e_i − G e_i (column), v = eᵢᵀ G (row).
-            let mut u = vec![0.0; n];
-            let mut v = vec![0.0; n];
-            for j in 0..n {
-                u[j] = -g[(j, i)];
-                v[j] = g[(i, j)];
-            }
-            u[i] += 1.0;
-            blas::ger(-gamma / r, &u, &v, g.as_mut());
+            workspace::with_scratch2(n, n, |u, v| {
+                for j in 0..n {
+                    u[j] = -g[(j, i)];
+                    v[j] = g[(i, j)];
+                }
+                u[i] += 1.0;
+                blas::ger(-gamma / r, u, v, g.as_mut());
+            });
         }
         self.field.flip(slice, i);
+        self.dirty[slice] = true;
         self.sign *= (r_up * r_dn).signum();
     }
 
     /// Wraps both `Ĝ_σ` from the slice-`slice` frame to slice `slice+1`:
-    /// `Ĝ ← B_slice·Ĝ·B_slice⁻¹` with the current (post-update) field.
-    fn wrap_to_next(&mut self, slice: usize) {
-        for spin in Spin::BOTH {
-            let b = self.builder.block(&self.field, slice, spin);
-            let binv = self.builder.block_inverse(&self.field, slice, spin);
-            let idx = spin_idx(spin);
-            let tmp = fsi_dense::mul(&b, &self.g[idx]);
-            self.g[idx] = fsi_dense::mul(&tmp, &binv);
-        }
+    /// `Ĝ ← B_slice·Ĝ·B_slice⁻¹` with the current (post-update) field,
+    /// spins joined over the pool.
+    fn wrap_to_next(&mut self, slice: usize, par: Parallelism<'_>) {
+        let (_, inner) = par.split();
+        let builder = self.builder;
+        let field = &self.field;
+        let strategy = self.cfg.wrap;
+        let [g_up, g_dn] = &mut self.g;
+        spin_join(
+            par,
+            || wrap_one(strategy, inner, builder, field, slice, Spin::Up, g_up),
+            || wrap_one(strategy, inner, builder, field, slice, Spin::Down, g_dn),
+        );
         self.wraps_since_stab += 1;
     }
 
@@ -231,18 +338,17 @@ impl<'a> Sweeper<'a> {
                     stats.proposed += 1;
                     if rng.gen::<f64>() < p.abs().min(1.0) {
                         if accs[0].is_full() {
-                            accs[0].flush(inner, &mut self.g[0]);
-                            accs[1].flush(inner, &mut self.g[1]);
+                            flush_both(par, inner, &mut accs, &mut self.g);
                         }
                         accs[0].push(&self.g[0], i, gamma_up, r_up);
                         accs[1].push(&self.g[1], i, gamma_dn, r_dn);
                         self.field.flip(slice, i);
+                        self.dirty[slice] = true;
                         self.sign *= p.signum();
                         stats.accepted += 1;
                     }
                 }
-                accs[0].flush(inner, &mut self.g[0]);
-                accs[1].flush(inner, &mut self.g[1]);
+                flush_both(par, inner, &mut accs, &mut self.g);
             } else {
                 for i in 0..n {
                     let (r_up, r_dn) = self.ratio(slice, i);
@@ -255,19 +361,28 @@ impl<'a> Sweeper<'a> {
                 }
             }
             if slice + 1 < l {
-                if self.wraps_since_stab + 1 >= self.cfg.stabilize_every {
-                    // Measure the drift the wraps accumulated, then
-                    // replace with the fresh state.
-                    self.wrap_to_next(slice);
-                    let wrapped = self.g.clone();
-                    self.refresh(slice + 1, par);
-                    for idx in 0..2 {
-                        let mut d = wrapped[idx].clone();
-                        d.sub_assign(&self.g[idx]);
-                        stats.max_drift = stats.max_drift.max(d.max_abs());
+                self.wrap_to_next(slice, par);
+                if self.wraps_since_stab >= self.cfg.stabilize_every {
+                    if self.cfg.track_drift {
+                        // Move the wrapped pair aside (no clone), refresh,
+                        // and fold the element-wise difference.
+                        let wrapped = std::mem::replace(
+                            &mut self.g,
+                            [Matrix::zeros(0, 0), Matrix::zeros(0, 0)],
+                        );
+                        self.refresh(slice + 1, par);
+                        for (w, fresh) in wrapped.iter().zip(&self.g) {
+                            let d = w
+                                .as_slice()
+                                .iter()
+                                .zip(fresh.as_slice())
+                                .map(|(a, b)| (a - b).abs())
+                                .fold(0.0f64, f64::max);
+                            stats.max_drift = stats.max_drift.max(d);
+                        }
+                    } else {
+                        self.refresh(slice + 1, par);
                     }
-                } else {
-                    self.wrap_to_next(slice);
                 }
             }
         }
@@ -279,6 +394,137 @@ fn spin_idx(spin: Spin) -> usize {
     match spin {
         Spin::Up => 0,
         Spin::Down => 1,
+    }
+}
+
+/// Two-way fork of the up/down channels over the pool (the `sweep.spin_par`
+/// trace span wraps the pair; flops charged inside count inclusively).
+fn spin_join<RA, RB>(
+    par: Parallelism<'_>,
+    up: impl FnOnce() -> RA + Send,
+    down: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    let _s = trace::span("sweep.spin_par");
+    fsi_runtime::join(par.any_pool(), up, down)
+}
+
+/// Joined flush of both spins' delayed-update accumulators.
+fn flush_both(
+    par: Parallelism<'_>,
+    inner: Par<'_>,
+    accs: &mut [crate::delayed::DelayedUpdates; 2],
+    g: &mut [Matrix; 2],
+) {
+    let [a_up, a_dn] = accs;
+    let [g_up, g_dn] = g;
+    spin_join(par, || a_up.flush(inner, g_up), || a_dn.flush(inner, g_dn));
+}
+
+fn wrap_one(
+    strategy: WrapStrategy,
+    par: Par<'_>,
+    builder: &BlockBuilder,
+    field: &HsField,
+    slice: usize,
+    spin: Spin,
+    g: &mut Matrix,
+) {
+    match strategy {
+        WrapStrategy::Dense => wrap_dense(par, builder, field, slice, spin, g),
+        WrapStrategy::Factored => wrap_factored(par, builder, field, slice, spin, g),
+    }
+}
+
+/// Dense similarity wrap `Ĝ ← B_slice·Ĝ·B_slice⁻¹` with materialized
+/// factors — two fresh `N×N` matrices and two out-of-place GEMMs per call.
+/// Kept as the baseline [`WrapStrategy::Dense`] and the equivalence oracle
+/// for [`wrap_factored`].
+pub fn wrap_dense(
+    par: Par<'_>,
+    builder: &BlockBuilder,
+    field: &HsField,
+    slice: usize,
+    spin: Spin,
+    g: &mut Matrix,
+) {
+    let b = builder.block(field, slice, spin);
+    let binv = builder.block_inverse(field, slice, spin);
+    let tmp = fsi_dense::mul_par(par, &b, g);
+    *g = fsi_dense::mul_par(par, &tmp, &binv);
+}
+
+/// Factored similarity wrap.
+///
+/// With `B = e^{tΔτK}·D`, `D = diag(e^{σν h})`:
+///
+/// ```text
+/// B·Ĝ·B⁻¹ = e^{tΔτK} · (D·Ĝ·D⁻¹) · e^{−tΔτK}
+/// ```
+///
+/// The inner diagonal similarity is `Ĝ[i,j] ← Ĝ[i,j]·d_i/d_j` — and since
+/// `h ∈ {±1}` only `e^{+σν}` and `e^{−σν}` ever occur, two transcendental
+/// calls per slice instead of the dense path's `2N` (formerly `N²`). The
+/// kinetic conjugation is two GEMMs through thread-local scratch (no
+/// allocation), or two `O(N·bonds)` bond sweeps when the builder carries a
+/// checkerboard backend. Matches [`wrap_dense`] up to round-off-level
+/// reassociation (≪ 1e-12; property-tested).
+pub fn wrap_factored(
+    par: Par<'_>,
+    builder: &BlockBuilder,
+    field: &HsField,
+    slice: usize,
+    spin: Spin,
+    g: &mut Matrix,
+) {
+    let _s = trace::span("wrap.factored");
+    let n = g.rows();
+    debug_assert_eq!(g.cols(), n);
+    let nu = builder.nu();
+    let d_up = (spin.sign() * nu).exp();
+    let d_dn = (-spin.sign() * nu).exp();
+    let h = field.row(slice);
+    // Ĝ[i,j] *= d_i / d_j, column-major so j is outer.
+    for (j, col) in g.as_mut_slice().chunks_exact_mut(n).enumerate() {
+        let inv_dj = if h[j] > 0.0 { d_dn } else { d_up };
+        for (x, &hi) in col.iter_mut().zip(&h) {
+            let di = if hi > 0.0 { d_up } else { d_dn };
+            *x *= di * inv_dj;
+        }
+    }
+    trace::charge_flops(2 * (n * n) as u64);
+    match builder.checkerboard() {
+        Some(cb) => {
+            cb.apply_left(g);
+            cb.apply_right_inverse(g);
+        }
+        None => {
+            workspace::with_scratch(n * n, |buf| {
+                gemm_op(
+                    par,
+                    1.0,
+                    Op::NoTrans,
+                    builder.exp_k().view(0, 0, n, n),
+                    Op::NoTrans,
+                    g.view(0, 0, n, n),
+                    0.0,
+                    MatMut::from_slice(&mut *buf, n, n, n),
+                );
+                gemm_op(
+                    par,
+                    1.0,
+                    Op::NoTrans,
+                    MatRef::from_slice(&*buf, n, n, n),
+                    Op::NoTrans,
+                    builder.exp_k_inv().view(0, 0, n, n),
+                    0.0,
+                    g.as_mut(),
+                );
+            });
+        }
     }
 }
 
@@ -368,13 +614,108 @@ mod tests {
         let field = HsField::random(8, 4, &mut rng);
         let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
         // Ĝ(0) → wrap → should equal fresh Ĝ(1).
-        sweeper.wrap_to_next(0);
+        sweeper.wrap_to_next(0, Parallelism::Serial);
         let wrapped = sweeper.g.clone();
         sweeper.refresh(1, Parallelism::Serial);
         for idx in 0..2 {
             let err = rel_error(&wrapped[idx], &sweeper.g[idx]);
             assert!(err < 1e-9, "spin {idx}: wrap err {err}");
         }
+    }
+
+    #[test]
+    fn factored_wrap_matches_dense_wrap() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let field = HsField::random(8, 4, &mut rng);
+        let sweeper = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+        for spin in Spin::BOTH {
+            for slice in [0usize, 3, 7] {
+                let mut dense = sweeper.green(spin).clone();
+                wrap_dense(Par::Seq, &builder, &field, slice, spin, &mut dense);
+                let mut factored = sweeper.green(spin).clone();
+                wrap_factored(Par::Seq, &builder, &field, slice, spin, &mut factored);
+                let err = rel_error(&factored, &dense);
+                assert!(err < 1e-12, "{spin:?} slice {slice}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_factored_wrap_matches_its_dense_wrap() {
+        // With a checkerboard builder, both strategies use the *same*
+        // Trotterized propagator, so they still agree to round-off.
+        let builder = BlockBuilder::with_checkerboard(
+            SquareLattice::square(2),
+            HubbardParams {
+                t: 1.0,
+                u: 4.0,
+                beta: 2.0,
+                l: 8,
+            },
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let field = HsField::random(8, 4, &mut rng);
+        let sweeper = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+        for spin in Spin::BOTH {
+            let mut dense = sweeper.green(spin).clone();
+            wrap_dense(Par::Seq, &builder, &field, 2, spin, &mut dense);
+            let mut factored = sweeper.green(spin).clone();
+            wrap_factored(Par::Seq, &builder, &field, 2, spin, &mut factored);
+            let err = rel_error(&factored, &dense);
+            assert!(err < 1e-12, "{spin:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_matches_cold_sweep_exactly() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let field = HsField::random(8, 4, &mut rng);
+        let run = |incremental: bool| {
+            let cfg = SweepConfig {
+                incremental,
+                ..SweepConfig::default()
+            };
+            let mut s = Sweeper::new(&builder, field.clone(), cfg);
+            let mut rng = ChaCha8Rng::seed_from_u64(777);
+            let mut accepted = 0;
+            for _ in 0..3 {
+                accepted += s.sweep(&mut rng, Parallelism::Serial).accepted;
+            }
+            (accepted, s.field().to_flat(), s.green(Spin::Up).clone())
+        };
+        let (acc_cold, field_cold, g_cold) = run(false);
+        let (acc_warm, field_warm, g_warm) = run(true);
+        assert_eq!(acc_cold, acc_warm, "trajectory must be identical");
+        assert_eq!(field_cold, field_warm);
+        assert_eq!(
+            g_cold.as_slice(),
+            g_warm.as_slice(),
+            "incremental refresh must be bitwise"
+        );
+    }
+
+    #[test]
+    fn warm_refresh_scores_cache_hits() {
+        let builder = small_builder(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let field = HsField::random(8, 4, &mut rng);
+        // stabilize_every = 8 = L keeps refreshes anchored at slice 0
+        // (k = 7, same residue mod c = 4 every time).
+        let mut s = Sweeper::new(&builder, field, SweepConfig::default());
+        let (h0, m0) = s.cluster_cache_stats();
+        assert_eq!(h0, 0, "cold build has no hits");
+        assert_eq!(m0, 2 * 2, "cold build recomputes b = L/c = 2 per spin");
+        let mut rng = ChaCha8Rng::seed_from_u64(888);
+        s.sweep(&mut rng, Parallelism::Serial);
+        let (h1, m1) = s.cluster_cache_stats();
+        assert!(h1 > h0, "sweep-start refresh must reuse clean clusters");
+        // A warm refresh recomputes strictly fewer products than cold.
+        assert!(
+            m1 - m0 < 2 * 2 || h1 > 0,
+            "warm refresh should not be a full rebuild"
+        );
     }
 
     #[test]
@@ -422,6 +763,7 @@ mod tests {
             SweepConfig {
                 c: 4,
                 stabilize_every: 2,
+                track_drift: true,
                 ..SweepConfig::default()
             },
         );

@@ -139,8 +139,26 @@ impl Checkerboard {
         self.apply(a, -self.sh, true);
     }
 
+    /// Applies the propagator from the right in place: `A := A·B_cb`.
+    ///
+    /// `B_cb = E_{g−1}⋯E_0`, so the rightmost group factor `E_{g−1}` hits
+    /// `A` first: column mixing walks the groups in reverse.
+    pub fn apply_right(&self, a: &mut Matrix) {
+        assert_eq!(a.cols(), self.n, "checkerboard column mismatch");
+        self.apply_cols(a, self.sh, true);
+    }
+
+    /// Applies the exact inverse from the right: `A := A·B_cb⁻¹`
+    /// (`B_cb⁻¹ = E_0⁻¹⋯E_{g−1}⁻¹`: forward group order, `sinh` negated).
+    /// This is the `G·B⁻¹` half of the DQMC similarity wrap.
+    pub fn apply_right_inverse(&self, a: &mut Matrix) {
+        assert_eq!(a.cols(), self.n, "checkerboard column mismatch");
+        self.apply_cols(a, -self.sh, false);
+    }
+
     fn apply(&self, a: &mut Matrix, sh: f64, reverse: bool) {
         let cols = a.cols();
+        fsi_runtime::trace::charge_flops(apply_flops(self.n_bonds(), cols));
         let order: Vec<usize> = if reverse {
             (0..self.groups.len()).rev().collect()
         } else {
@@ -159,6 +177,29 @@ impl Checkerboard {
         }
     }
 
+    /// Right-side bond sweep: columns `i` and `j` mix through the
+    /// symmetric 2×2 bond factor. Column-major storage makes each bond a
+    /// pass over two contiguous columns.
+    fn apply_cols(&self, a: &mut Matrix, sh: f64, reverse: bool) {
+        let rows = a.rows();
+        fsi_runtime::trace::charge_flops(apply_flops(self.n_bonds(), rows));
+        let order: Vec<usize> = if reverse {
+            (0..self.groups.len()).rev().collect()
+        } else {
+            (0..self.groups.len()).collect()
+        };
+        for gi in order {
+            for &(i, j) in &self.groups[gi] {
+                for r in 0..rows {
+                    let ai = a[(r, i)];
+                    let aj = a[(r, j)];
+                    a[(r, i)] = self.ch * ai + sh * aj;
+                    a[(r, j)] = sh * ai + self.ch * aj;
+                }
+            }
+        }
+    }
+
     /// Materializes the dense propagator (tests / comparison with
     /// [`fsi_dense::expm`]).
     pub fn as_dense(&self) -> Matrix {
@@ -166,6 +207,21 @@ impl Checkerboard {
         self.apply_left(&mut m);
         m
     }
+
+    /// Materializes the dense inverse propagator (the checkerboard analog
+    /// of `e^{−tΔτK}`; exact inverse of [`Self::as_dense`] to round-off).
+    pub fn as_dense_inverse(&self) -> Matrix {
+        let mut m = Matrix::identity(self.n);
+        self.apply_left_inverse(&mut m);
+        m
+    }
+}
+
+/// Flop count of one checkerboard application to a matrix with `lanes`
+/// rows (right apply) or columns (left apply): each bond rotates two
+/// elements per lane at 4 multiplies + 2 adds.
+pub fn apply_flops(bonds: usize, lanes: usize) -> u64 {
+    6 * bonds as u64 * lanes as u64
 }
 
 #[cfg(test)]
@@ -274,6 +330,36 @@ mod tests {
         let mut got = x.clone();
         cb.apply_left(&mut got);
         assert!(rel_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn right_apply_matches_dense_multiplication() {
+        let lat = SquareLattice::new(3, 4);
+        let cb = Checkerboard::new(&lat, 0.17);
+        let d = cb.as_dense();
+        let x = fsi_dense::test_matrix(7, 12, 5);
+        let want = mul(&x, &d);
+        let mut got = x.clone();
+        cb.apply_right(&mut got);
+        assert!(rel_error(&got, &want) < 1e-13);
+    }
+
+    #[test]
+    fn right_inverse_is_exact() {
+        let lat = SquareLattice::new(4, 4);
+        let cb = Checkerboard::new(&lat, 0.25);
+        let a0 = fsi_dense::test_matrix(5, 16, 6);
+        let mut a = a0.clone();
+        cb.apply_right(&mut a);
+        cb.apply_right_inverse(&mut a);
+        assert!(
+            rel_error(&a, &a0) < 1e-14,
+            "B B⁻¹ ≠ I on the right: {}",
+            rel_error(&a, &a0)
+        );
+        // And the materialized inverse matches LU inversion of as_dense.
+        let inv = fsi_dense::inverse(&cb.as_dense()).unwrap();
+        assert!(rel_error(&cb.as_dense_inverse(), &inv) < 1e-12);
     }
 
     #[test]

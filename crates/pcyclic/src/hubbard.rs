@@ -20,6 +20,7 @@
 use fsi_dense::{expm, Matrix};
 use rand::Rng;
 
+use crate::checkerboard::Checkerboard;
 use crate::lattice::SquareLattice;
 
 /// Spin direction `σ ∈ {↑, ↓}` entering the HS exponent as `±1`.
@@ -178,6 +179,7 @@ pub struct BlockBuilder {
     nu: f64,
     exp_k: Matrix,
     exp_k_inv: Matrix,
+    cb: Option<Checkerboard>,
 }
 
 impl BlockBuilder {
@@ -196,7 +198,36 @@ impl BlockBuilder {
             nu,
             exp_k,
             exp_k_inv,
+            cb: None,
         }
+    }
+
+    /// Like [`Self::new`] but with the checkerboard breakup as the kinetic
+    /// propagator: `exp_k`/`exp_k_inv` are the *materialized* checkerboard
+    /// products (not the Padé exponential), so every consumer — dense block
+    /// assembly, CLS, measurements, and the O(N·bonds) factored wrap — sees
+    /// the same propagator and stays mutually consistent to round-off. The
+    /// substitution carries the usual `O((tΔτ)²)` Trotter error relative to
+    /// the exact exponential, the same order as the discretization itself.
+    pub fn with_checkerboard(lattice: SquareLattice, params: HubbardParams) -> Self {
+        let cb = Checkerboard::new(&lattice, params.t * params.delta_tau());
+        let exp_k = cb.as_dense();
+        let exp_k_inv = cb.as_dense_inverse();
+        let nu = params.nu();
+        BlockBuilder {
+            lattice,
+            params,
+            nu,
+            exp_k,
+            exp_k_inv,
+            cb: Some(cb),
+        }
+    }
+
+    /// The checkerboard backend, when this builder was constructed with
+    /// [`Self::with_checkerboard`].
+    pub fn checkerboard(&self) -> Option<&Checkerboard> {
+        self.cb.as_ref()
     }
 
     /// The lattice this builder was created for.
@@ -234,17 +265,10 @@ impl BlockBuilder {
 
     /// Builds the exact inverse `B_ℓ^σ⁻¹ = diag(e^{−σν h(ℓ,·)})·e^{−tΔτK}`.
     pub fn block_inverse(&self, field: &HsField, l: usize, spin: Spin) -> Matrix {
-        let n = self.lattice.n_sites();
         let d = field.row(l);
         let alpha = -spin.sign() * self.nu;
         let mut out = self.exp_k_inv.clone();
-        // Row scaling: out[i, :] *= e^{α·d_i}.
-        for j in 0..n {
-            let mut col = out.view_mut(0, j, n, 1);
-            for i in 0..n {
-                *col.at_mut(i, 0) *= (alpha * d[i]).exp();
-            }
-        }
+        fsi_dense::expm::scale_rows_exp(&mut out, alpha, &d);
         out
     }
 
@@ -373,6 +397,31 @@ mod tests {
         for blk in &blocks[1..] {
             assert!(rel_error(blk, &blocks[0]) < 1e-15);
         }
+    }
+
+    #[test]
+    fn checkerboard_builder_is_self_consistent() {
+        let lat = SquareLattice::square(4);
+        let p = HubbardParams::paper_validation(8);
+        let b = BlockBuilder::with_checkerboard(lat.clone(), p.clone());
+        let cb = b.checkerboard().expect("checkerboard backend present");
+        // exp_k is exactly the materialized checkerboard product.
+        assert!(rel_error(b.exp_k(), &cb.as_dense()) < 1e-15);
+        // Blocks still satisfy B·B⁻¹ = I (the inverse is exact even though
+        // the propagator is the Trotterized one).
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let h = HsField::random(8, 16, &mut rng);
+        let blk = b.block(&h, 5, Spin::Up);
+        let inv = b.block_inverse(&h, 5, Spin::Up);
+        let mut prod = mul(&blk, &inv);
+        prod.add_diag(-1.0);
+        assert!(prod.max_abs() < 1e-12, "cb B·B⁻¹ ≉ I: {}", prod.max_abs());
+        // Close to (but distinct from) the dense-exponential builder.
+        let dense = BlockBuilder::new(lat, p);
+        let err = rel_error(b.exp_k(), dense.exp_k());
+        assert!(err < 0.05, "Trotter error unexpectedly large: {err}");
+        // The plain builder has no checkerboard backend.
+        assert!(dense.checkerboard().is_none());
     }
 
     #[test]

@@ -229,6 +229,12 @@ impl RunReport {
             .sum()
     }
 
+    /// Number of spans named `name` — the span-as-counter idiom the cluster
+    /// cache uses (`cls.cache_hit` / `cls.cache_miss` occurrences).
+    pub fn count_of(&self, name: &str) -> usize {
+        self.spans.iter().filter(|r| r.name == name).count()
+    }
+
     /// Structural signature of the span tree, one entry per span in
     /// completion order: `path flops=F bytes=B`, where `path` is the
     /// slash-joined ancestor chain. Ids, timestamps, and thread indices

@@ -90,7 +90,7 @@ pub fn cls(
     let b = l / c;
     let o = c - 1 - q;
     let blocks = parallel_map(par_clusters, b, Schedule::Static, |m| {
-        cluster_product(par_gemm, pc, c * m + o, c)
+        cluster_product(par_gemm, pc.blocks(), c * m + o, c)
     });
     Clustered {
         reduced: BlockPCyclic::new(blocks),
@@ -104,13 +104,24 @@ pub fn cls(
 /// `b[from]·b[from−1]⋯` (left-to-right accumulation, matching the paper's
 /// chain order). Delegates to [`chain_mul`], whose ping-pong buffers keep
 /// a `c`-factor chain at two allocations instead of one per factor.
-fn cluster_product(par: Par<'_>, pc: &BlockPCyclic, from: usize, count: usize) -> Matrix {
-    let mut idx = from % pc.l();
+///
+/// Takes a raw block slice rather than a [`BlockPCyclic`] so the
+/// incremental [`crate::cache::ClusterCache`] runs the *identical* code a
+/// cold [`cls`] would — the bitwise-equality contract between warm and
+/// cold refreshes rests on this shared path.
+pub(crate) fn cluster_product(
+    par: Par<'_>,
+    blocks: &[Matrix],
+    from: usize,
+    count: usize,
+) -> Matrix {
+    let l = blocks.len();
+    let mut idx = from % l;
     let mut factors = Vec::with_capacity(count);
-    factors.push(pc.block(idx));
+    factors.push(&blocks[idx]);
     for _ in 1..count {
-        idx = pc.up(idx);
-        factors.push(pc.block(idx));
+        idx = (idx + l - 1) % l;
+        factors.push(&blocks[idx]);
     }
     chain_mul(par, &factors)
 }
@@ -120,6 +131,12 @@ fn cluster_product(par: Par<'_>, pc: &BlockPCyclic, from: usize, count: usize) -
 pub fn cls_flops(n: usize, l: usize, c: usize) -> u64 {
     let b = (l / c) as u64;
     2 * b * (c as u64 - 1) * (n as u64).pow(3)
+}
+
+/// Flop count of an incremental clustering pass that recomputed only
+/// `rebuilt` of the `b` cluster products: `2·rebuilt·(c−1)·N³`.
+pub fn cls_incremental_flops(n: usize, c: usize, rebuilt: usize) -> u64 {
+    2 * rebuilt as u64 * (c as u64 - 1) * (n as u64).pow(3)
 }
 
 #[cfg(test)]

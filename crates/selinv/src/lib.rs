@@ -9,6 +9,8 @@
 //!
 //! * [`cls`] — factor-of-`c` block cyclic reduction with a random shift
 //!   `q`: `L` blocks collapse into `b = L/c` cluster products;
+//! * [`cache`] — incremental clustering: dirty-slice tracking reuses the
+//!   cluster products untouched since the previous refresh;
 //! * [`bsofi`] — full inverse of the reduced matrix by the block
 //!   structured orthogonal factorization of Gogolenko–Bai–Scalettar;
 //! * [`wrap`] — the reduced inverse's blocks are exact blocks of the
@@ -32,6 +34,7 @@
 
 pub mod baselines;
 pub mod bsofi;
+pub mod cache;
 pub mod cls;
 pub mod flops;
 pub mod fsi;
@@ -42,7 +45,8 @@ pub mod tridiag;
 pub mod wrap;
 
 pub use bsofi::{bsofi, StructuredQr};
-pub use cls::{cls, Clustered};
+pub use cache::ClusterCache;
+pub use cls::{cls, cls_flops, cls_incremental_flops, Clustered};
 pub use fsi::{fsi, fsi_with_q, FsiOutput, Parallelism};
 pub use multi::{run_multi, MemoryModel, MultiConfig, MultiResult};
 pub use patterns::{Pattern, SelectedInverse, Selection};

@@ -6,10 +6,15 @@
 //! holds `trace::test_lock()` while tracing is enabled and restores the
 //! `Off` level before releasing it.
 
-use fsi::pcyclic::{random_pcyclic, BlockPCyclic};
+use fsi::dqmc::{SweepConfig, Sweeper};
+use fsi::pcyclic::{
+    random_pcyclic, BlockBuilder, BlockPCyclic, HsField, HubbardParams, SquareLattice,
+};
+use fsi::runtime::flops::counts;
 use fsi::runtime::trace;
 use fsi::runtime::{RunReport, TraceLevel};
 use fsi::selinv::{fsi_with_q, Parallelism, Pattern, Selection};
+use rand::SeedableRng;
 
 fn test_matrix() -> BlockPCyclic {
     random_pcyclic(16, 24, 42)
@@ -84,6 +89,64 @@ fn stage_walls_sum_to_driver_and_stage_flops_match_model() {
     );
     let wrap_ratio = report.flops_of("wrap") as f64 / fsi::selinv::wrap::wrap_flops(n, l, c) as f64;
     assert!((0.5..=1.5).contains(&wrap_ratio), "wrap ratio {wrap_ratio}");
+}
+
+#[test]
+fn sweep_spans_fire_and_cache_flops_match_the_incremental_model() {
+    let _lock = trace::test_lock();
+    let (n, l, c) = (4usize, 8usize, 4usize);
+    let builder = BlockBuilder::new(
+        SquareLattice::square(2),
+        HubbardParams {
+            t: 1.0,
+            u: 4.0,
+            beta: 2.0,
+            l,
+        },
+    );
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+    let field = HsField::random(l, n, &mut rng);
+    trace::set_level(TraceLevel::Stages);
+    trace::clear();
+    // Cold build (traced) + one sweep whose start-of-sweep refresh is warm.
+    let mut s = Sweeper::new(&builder, field, SweepConfig::default());
+    let mut sweep_rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
+    s.sweep(&mut sweep_rng, Parallelism::Serial);
+    let report = RunReport::capture("sweep-observability");
+    trace::set_level(TraceLevel::Off);
+    trace::clear();
+
+    // The hot-path spans all fire: factored wraps, spin-joined phases, and
+    // the per-cluster cache verdict counters.
+    assert!(report.count_of("wrap.factored") > 0, "no factored wraps");
+    assert!(report.count_of("sweep.spin_par") > 0, "no spin joins");
+    let hits = report.count_of("cls.cache_hit");
+    let misses = report.count_of("cls.cache_miss");
+    assert!(hits > 0, "warm refresh scored no cache hits");
+    // Every refresh touches 2·b products (both spins); strictly fewer than
+    // that many misses per refresh means the warm pass reused clusters.
+    let per_refresh = 2 * (l / c);
+    let refreshes = (hits + misses) / per_refresh;
+    assert_eq!(hits + misses, refreshes * per_refresh, "partial refresh?");
+    assert!(
+        misses < refreshes * per_refresh,
+        "warm refreshes must rebuild strictly fewer products than cold"
+    );
+
+    // Flop attribution: each cache miss recomputes one (c-1)-GEMM cluster
+    // chain, so the cache_miss spans' inclusive flops must equal the
+    // incremental CLS model exactly.
+    assert_eq!(
+        report.flops_of("cls.cache_miss"),
+        fsi::selinv::cls_incremental_flops(n, c, misses)
+    );
+    // And each factored wrap is the 2N² diagonal similarity plus two
+    // kinetic GEMMs (dense-exp builder).
+    let per_wrap = 2 * (n * n) as u64 + 2 * counts::gemm(n, n, n);
+    assert_eq!(
+        report.flops_of("wrap.factored"),
+        report.count_of("wrap.factored") as u64 * per_wrap
+    );
 }
 
 #[test]
