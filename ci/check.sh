@@ -21,9 +21,15 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --offline --workspace --release
 
+echo "== cargo doc (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
+
 if [[ $quick -eq 0 ]]; then
   echo "== cargo test =="
   cargo test --offline --workspace -q
+
+  echo "== cargo test --doc =="
+  cargo test --offline --workspace --doc -q
 
   # Non-gating: record kernel throughput (results/BENCH_kernels.json is
   # informational; timing noise must never fail the gate).

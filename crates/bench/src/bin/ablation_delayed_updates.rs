@@ -1,7 +1,7 @@
 //! Ablation: delayed (rank-k) vs immediate (rank-1) Green's-function
 //! updates in the DQMC sweep.
 //!
-//! The paper's reference [4] (Chang et al., "Recent advances in
+//! The paper's reference \[4\] (Chang et al., "Recent advances in
 //! determinant quantum Monte Carlo") turns the sweep's Level-2 rank-1
 //! updates into Level-3 rank-k GEMM flushes. This harness runs identical
 //! Monte Carlo trajectories at several batch sizes and reports sweep

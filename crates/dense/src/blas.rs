@@ -102,26 +102,39 @@ pub fn gemv(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn gemv_t(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
+    gemv_t_uncounted(alpha, a, x, beta, y);
+    fsi_runtime::flops::add_flops(2 * a.rows() as u64 * a.cols() as u64);
+}
+
+/// [`gemv_t`] without the flop charge — for use inside kernels (GEQRF,
+/// ORMQR) that already charged their analytic total; charging the panel
+/// products again would double-count.
+pub(crate) fn gemv_t_uncounted(alpha: f64, a: MatRef<'_>, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(a.rows(), x.len(), "gemv_t: A.rows != x.len");
     assert_eq!(a.cols(), y.len(), "gemv_t: A.cols != y.len");
     for j in 0..a.cols() {
         let d = dot(a.col(j), x);
         y[j] = alpha * d + if beta == 0.0 { 0.0 } else { beta * y[j] };
     }
-    fsi_runtime::flops::add_flops(2 * a.rows() as u64 * a.cols() as u64);
 }
 
 /// Rank-1 update `A += alpha·x·yᵀ`.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn ger(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
+pub fn ger(alpha: f64, x: &[f64], y: &[f64], a: MatMut<'_>) {
+    let flops = 2 * x.len() as u64 * y.len() as u64;
+    ger_uncounted(alpha, x, y, a);
+    fsi_runtime::flops::add_flops(flops);
+}
+
+/// [`ger`] without the flop charge (see [`gemv_t_uncounted`]).
+pub(crate) fn ger_uncounted(alpha: f64, x: &[f64], y: &[f64], mut a: MatMut<'_>) {
     assert_eq!(a.rows(), x.len(), "ger: A.rows != x.len");
     assert_eq!(a.cols(), y.len(), "ger: A.cols != y.len");
     for j in 0..a.cols() {
         axpy(alpha * y[j], x, a.col_mut(j));
     }
-    fsi_runtime::flops::add_flops(2 * x.len() as u64 * y.len() as u64);
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@
 //! intrinsics (8 `ymm` accumulators, 8 `vfmadd231pd` per depth step —
 //! exactly enough independent chains to saturate both FMA ports), and a
 //! portable plain multiply-add variant over fixed-size arrays that LLVM
-//! auto-vectorizes for the baseline target. [`micro_kernel`] picks the
+//! auto-vectorizes for the baseline target. `micro_kernel` picks the
 //! widest supported variant once per process via
 //! `is_x86_feature_detected!`.
 //!
@@ -47,7 +47,7 @@
 //! `NC = 1024` (B̃ ≈ 2 MiB, L3-resident).
 //!
 //! **Parallelism.** C is tiled over an M×N *thread grid* chosen by
-//! [`thread_grid`] to use every pool thread while keeping tiles near
+//! `thread_grid` to use every pool thread while keeping tiles near
 //! square — so BSOFI's tall-skinny `2N × N` panels split over rows instead
 //! of starving on `min(threads, n)` column splits. Tiles are disjoint
 //! `MatMut`s; each task runs the full sequential packed engine on its

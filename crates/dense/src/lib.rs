@@ -9,7 +9,7 @@
 //!   views with explicit leading dimension, including the disjoint splits
 //!   the parallel kernels hand to pool workers;
 //! * [`blas`] — level-1/2 kernels (dot, axpy, nrm2, gemv, ger);
-//! * [`gemm`] — cache-blocked, thread-parallel matrix multiply with
+//! * [`gemm`](mod@gemm) — cache-blocked, thread-parallel matrix multiply with
 //!   transpose variants, the flop workhorse of FSI;
 //! * [`lu`] — blocked LU with partial pivoting, solves (including the
 //!   right-inverse applications the wrapping stage needs), explicit
@@ -17,7 +17,7 @@
 //! * [`qr`] — Householder QR with compact-WY blocked application of `Q`,
 //!   the engine of BSOFI;
 //! * [`tri`] — triangular solves and upper-triangular inversion;
-//! * [`expm`] — Padé-13 scaling-and-squaring matrix exponential for the
+//! * [`expm`](mod@expm) — Padé-13 scaling-and-squaring matrix exponential for the
 //!   Hubbard hopping factor `e^{tΔτK}`;
 //! * [`norms`] — norms, relative-error metrics and a condition-number probe.
 //!

@@ -5,14 +5,14 @@
 //! panels and then right-applies the accumulated `Qᵀ` to the `bN`-wide
 //! structured `R⁻¹`. That application is the largest flop block of BSOFI,
 //! so it must run at level-3 speed: reflectors are applied in blocks of
-//! [`IB`] through the compact-WY identity `Q = I − V·T·Vᵀ` (LARFT/LARFB),
+//! `IB` through the compact-WY identity `Q = I − V·T·Vᵀ` (LARFT/LARFB),
 //! turning the whole operation into three GEMMs per block.
 //!
 //! Conventions follow LAPACK: `Q = H_0·H_1⋯H_{k−1}`,
 //! `H_j = I − τ_j·v_j·v_jᵀ`, `v_j` unit-diagonal and stored below the
 //! diagonal of the factored matrix, `R` in the upper triangle.
 
-use crate::blas::{axpy, gemv_t, ger, nrm2};
+use crate::blas::{axpy, gemv_t_uncounted, ger_uncounted, nrm2};
 use crate::gemm::{gemm_op_uncounted, Op};
 use crate::matrix::{MatMut, Matrix};
 use fsi_runtime::{flops, workspace, Par};
@@ -101,12 +101,13 @@ fn house_apply_trailing(a: &mut Matrix, j: usize, tau: f64, end: usize) {
         v.push(a[(i, j)]);
     }
     // w = A[j.., j+1..end)ᵀ v ; A[j.., j+1..end) −= τ v wᵀ
+    // Uncounted: the enclosing GEQRF already charged its analytic total.
     let mut w = vec![0.0; width];
     {
         let trail = a.view(j, j + 1, m - j, width);
-        gemv_t(1.0, trail, &v, 0.0, &mut w);
+        gemv_t_uncounted(1.0, trail, &v, 0.0, &mut w);
     }
-    ger(-tau, &v, &w, a.view_mut(j, j + 1, m - j, width));
+    ger_uncounted(-tau, &v, &w, a.view_mut(j, j + 1, m - j, width));
 }
 
 /// Which side of `C` the orthogonal factor is applied to.
@@ -142,7 +143,26 @@ impl QrFactor {
     /// Extracts the `n × n` upper-triangular `R`.
     pub fn r(&self) -> Matrix {
         let n = self.n();
-        Matrix::from_fn(n, n, |i, j| if i <= j { self.qr[(i, j)] } else { 0.0 })
+        let mut out = Matrix::zeros(n, n);
+        self.write_r(out.as_mut());
+        out
+    }
+
+    /// Writes the `n × n` upper-triangular factor `R` into `out` without
+    /// allocating — the panel API callers use to cache `R` diagonals
+    /// instead of materializing a fresh matrix per access.
+    ///
+    /// # Panics
+    /// Panics unless `out` is `n × n`.
+    pub fn write_r(&self, mut out: MatMut<'_>) {
+        let n = self.n();
+        assert_eq!((out.rows(), out.cols()), (n, n), "write_r shape mismatch");
+        for j in 0..n {
+            let col = out.col_mut(j);
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = if i <= j { self.qr[(i, j)] } else { 0.0 };
+            }
+        }
     }
 
     /// `C := Qᵀ·C` (blocked). `C` must have `m` rows.
@@ -249,11 +269,12 @@ fn build_vt(qr: &Matrix, tau: &[f64], i0: usize, kb: usize) -> (Matrix, Matrix) 
             continue;
         }
         // w = V[:, 0..j]ᵀ · v_j  (only rows j.. of v_j are nonzero).
+        // Uncounted: LARFT overhead is inside GEQRF/ORMQR's analytic total.
         let mut w = vec![0.0; j];
         let vj = v.col_from(j);
         {
             let vblock = v.view(j, 0, rows - j, j);
-            gemv_t(-tj, vblock, &vj[j..], 0.0, &mut w);
+            gemv_t_uncounted(-tj, vblock, &vj[j..], 0.0, &mut w);
         }
         // w := T[0..j, 0..j] · w  (upper-triangular matvec).
         for i in 0..j {

@@ -2,7 +2,7 @@
 //!
 //! The plain Metropolis sweep applies a rank-1 update of `Ĝ` after every
 //! accepted flip — `O(N²)` of Level-2 work per acceptance. The delayed
-//! update scheme of Chang et al. (the paper's reference [4], standard in
+//! update scheme of Chang et al. (the paper's reference \[4\], standard in
 //! modern QUEST) instead *accumulates* up to `k` accepted flips as
 //! low-rank factors and only materializes them into `Ĝ` every `k`
 //! acceptances with one rank-`k` GEMM:

@@ -18,7 +18,7 @@
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::Par;
-use fsi_selinv::{bsofi, cls, ClusterCache};
+use fsi_selinv::{bsofi_selected, cls, ClusterCache, SelectedPattern};
 
 /// Stable `G(k, k)` via clustering + BSOFI (Hirsch/BCR route).
 ///
@@ -41,11 +41,18 @@ pub fn equal_time_green_stable(
     let o = k % c;
     let q = c - 1 - o;
     let clustered = cls(par_outer, par_inner, pc, c, q);
-    let g_reduced = bsofi(par_outer, par_inner, &clustered.reduced);
     let k0 = clustered
         .to_reduced(k)
         .expect("k is a seed row by construction");
-    clustered.reduced.dense_block(&g_reduced, k0, k0)
+    // Only Ḡ(k₀,k₀) is needed — request exactly that block instead of
+    // materializing the dense reduced inverse.
+    let mut sel = bsofi_selected(
+        par_outer,
+        par_inner,
+        &clustered.reduced,
+        &SelectedPattern::DiagonalBlock(k0),
+    );
+    sel.remove(k0, k0).expect("requested block assembled")
 }
 
 /// [`equal_time_green_stable`] with incremental clustering: the CLS stage
@@ -76,11 +83,16 @@ pub fn equal_time_green_cached(
     let o = k % c;
     let q = c - 1 - o;
     let (clustered, _rebuilt) = cache.cls(par_outer, par_inner, blocks, dirty, c, q);
-    let g_reduced = bsofi(par_outer, par_inner, &clustered.reduced);
     let k0 = clustered
         .to_reduced(k)
         .expect("k is a seed row by construction");
-    clustered.reduced.dense_block(&g_reduced, k0, k0)
+    let mut sel = bsofi_selected(
+        par_outer,
+        par_inner,
+        &clustered.reduced,
+        &SelectedPattern::DiagonalBlock(k0),
+    );
+    sel.remove(k0, k0).expect("requested block assembled")
 }
 
 /// Naive `G(k, k) = (I + P(k))⁻¹` via the explicit product — loses

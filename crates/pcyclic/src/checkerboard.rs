@@ -201,7 +201,7 @@ impl Checkerboard {
     }
 
     /// Materializes the dense propagator (tests / comparison with
-    /// [`fsi_dense::expm`]).
+    /// [`fsi_dense::expm()`]).
     pub fn as_dense(&self) -> Matrix {
         let mut m = Matrix::identity(self.n);
         self.apply_left(&mut m);

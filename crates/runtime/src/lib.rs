@@ -48,7 +48,7 @@ pub mod workspace;
 
 #[allow(deprecated)] // shims kept for external callers of the old API
 pub use flops::{flop_count, reset_flops, FlopCounter};
-pub use parallel::{join, parallel_for, parallel_map, Schedule};
+pub use parallel::{join, parallel_for, parallel_map, pipeline, Schedule};
 pub use pool::{Par, PoolStats, ScopeHandle, ThreadPool, WorkerStats};
 pub use timing::{Profile, Stopwatch};
 pub use trace::{RunReport, SpanGuard, SpanStats, TraceLevel};

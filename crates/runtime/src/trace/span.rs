@@ -160,7 +160,7 @@ pub struct TraceData {
     pub records: Vec<SpanRecord>,
     /// Per-name latency histograms (merged across threads).
     pub histograms: BTreeMap<&'static str, Histogram>,
-    /// Spans not kept verbatim because [`MAX_RECORDS`] was reached; their
+    /// Spans not kept verbatim because `MAX_RECORDS` (2²⁰) was reached; their
     /// durations and flops still appear in histograms and parent rollups.
     pub dropped: u64,
 }

@@ -1,10 +1,10 @@
 //! BSOFI — block structured orthogonal factorization inversion
 //! (Gogolenko, Bai, Scalettar, Euro-Par 2014; stage 2 of FSI).
 //!
-//! Computes the *full* dense inverse `Ḡ = M̄⁻¹` of a (reduced) block
-//! p-cyclic matrix with `b` block rows of size `N`, in `O(b²N³)` flops
-//! instead of the `O(b³N³)` of a dense factorization, by exploiting the
-//! p-cyclic sparsity:
+//! Computes the inverse `Ḡ = M̄⁻¹` of a (reduced) block p-cyclic matrix
+//! with `b` block rows of size `N`, in `O(b²N³)` flops instead of the
+//! `O(b³N³)` of a dense factorization, by exploiting the p-cyclic
+//! sparsity:
 //!
 //! **Stage A — structured QR.** Eliminate the subdiagonal blocks with a
 //! chain of `b−1` Householder QRs of `2N × N` panels
@@ -21,27 +21,57 @@
 //!     |                 R__ |
 //! ```
 //!
+//! Each panel's work splits into a *critical chain* (the QR itself plus
+//! the superdiagonal column update that produces the next panel's `D`)
+//! and *trailing work* (the corner's last-column update). The factor
+//! routine runs them as a two-stage look-ahead pipeline
+//! ([`fsi_runtime::pipeline`]): on a pool, the trailing update of panel
+//! `i` overlaps the QR of panel `i+1`, with bitwise-identical output to
+//! the serial order (the kernels are deterministic and the overlapped
+//! calls see identical inputs).
+//!
 //! **Stage B — structured `R⁻¹`.** Because `R⁻¹`'s last block row is zero
 //! left of the diagonal, the back-substitution recurrences collapse to
 //! short products: `X_ij = −R_ii⁻¹(E_i X_{i+1,j} + C_i X_{b−1,j})` with the
-//! `C` term active only in the last column. Block columns are independent →
-//! parallel.
+//! `C` term active only in the last column. Block columns (or rows — see
+//! below) are independent → parallel.
 //!
 //! **Stage C — `Ḡ = X·Qᵀ`.** Right-apply the stored panel transforms in
-//! reverse; each `Q̃_iᵀ` touches a `bN × 2N` column slab, applied with the
+//! reverse; each `Q̃_iᵀ` touches a `2N`-wide column slab, applied with the
 //! compact-WY kernels so the stage is GEMM-rich.
+//!
+//! Two assembly paths share the factorization:
+//!
+//! * [`bsofi`] materializes the full dense `bN × bN` inverse — what the
+//!   S3/S4 (rows/columns) wraps need, since every block of `Ḡ` seeds a
+//!   walk.
+//! * [`bsofi_selected`] assembles only the block rows a
+//!   [`SelectedPattern`] requests (PSelInv-style: restrict the inversion
+//!   to the sparsity pattern of the request). Row `k` of `X = R⁻¹` is the
+//!   chain `X_kk = R_kk⁻¹`, `X_kj = X_{k,j−1}·W_j` with the shared
+//!   couplings `W_j = −E_{j−1}·R_jj⁻¹`, plus the shared last column; and
+//!   because column `ℓ` of `Ḡ` is final once transforms `b−1, …, ℓ−1`
+//!   have been applied, a diagonal-only request replaces the in-place
+//!   slab applies of stage C with a *live-column chain*: materialize the
+//!   column half of each `Q̃ᵢᵀ` the request needs and advance the one
+//!   still-live column block with plain GEMMs (see
+//!   [`StructuredQr::selected`]). For the S1/S2 diagonal patterns this
+//!   drops the stage B+C constant from ≈`9b²N³` to ≈`3b²N³`, keeps the
+//!   work in clean tall GEMMs, and skips the dense materialization.
 
 use fsi_dense::tri::invert_upper;
 use fsi_dense::{gemm, geqrf, Matrix, QrFactor};
 use fsi_pcyclic::BlockPCyclic;
-use fsi_runtime::{Par, Schedule};
+use fsi_runtime::{trace, Par, Schedule};
+
+use crate::patterns::{SelectedInverse, SelectedPattern};
 
 /// Computes the dense inverse `Ḡ = M̄⁻¹` (a `bN × bN` matrix).
 ///
-/// `par_cols` parallelizes the independent block columns of stage B (FSI's
-/// OpenMP mode); `par_gemm` parallelizes inside the dense kernels of stages
-/// A and C (the "MKL-style" mode). The FSI drivers pass a pool to exactly
-/// one of the two.
+/// `par_cols` parallelizes the look-ahead pipeline of stage A and the
+/// independent block columns of stage B (FSI's OpenMP mode); `par_gemm`
+/// parallelizes inside the dense kernels (the "MKL-style" mode). The FSI
+/// drivers pass a pool to exactly one of the two.
 ///
 /// ```
 /// use fsi_runtime::Par;
@@ -67,8 +97,56 @@ pub fn bsofi(par_cols: Par<'_>, par_gemm: Par<'_>, pc: &BlockPCyclic) -> Matrix 
         return x;
     }
 
-    let factor = StructuredQr::factor(par_gemm, pc);
+    let factor = StructuredQr::factor_lookahead(par_cols, par_gemm, pc);
     factor.inverse(par_cols, par_gemm)
+}
+
+/// Computes only the blocks of `Ḡ = M̄⁻¹` a [`SelectedPattern`] requests,
+/// skipping the dense materialization (and, for sparse patterns, most of
+/// the stage B/C flops) of [`bsofi`].
+///
+/// The result is exact — the same factorization and the same kernel
+/// family as the dense path, merely restricted to the requested rows —
+/// and agrees with the dense inverse to rounding (property-tested at
+/// 1e-13). Work is traced under the `bsofi.selected` span with the
+/// factorization nested under `bsofi.lookahead`; the measured flops equal
+/// [`crate::flops::bsofi_selected_flops`] exactly.
+///
+/// ```
+/// use fsi_runtime::Par;
+/// use fsi_selinv::{bsofi, bsofi_selected, SelectedPattern};
+/// let m = fsi_pcyclic::random_pcyclic(2, 3, 5);
+/// let sel = bsofi_selected(Par::Seq, Par::Seq, &m, &SelectedPattern::Diagonals);
+/// let dense = bsofi(Par::Seq, Par::Seq, &m);
+/// for k in 0..3 {
+///     let got = sel.get(k, k).expect("diagonal block");
+///     let want = m.dense_block(&dense, k, k);
+///     assert!(fsi_dense::rel_error(got, &want) < 1e-13);
+/// }
+/// ```
+pub fn bsofi_selected(
+    par_cols: Par<'_>,
+    par_gemm: Par<'_>,
+    pc: &BlockPCyclic,
+    pattern: &SelectedPattern,
+) -> SelectedInverse {
+    let _span = trace::span("bsofi.selected");
+    let b = pc.l();
+    if b == 1 {
+        let _ = pattern.rows(1); // bounds-check DiagonalBlock requests
+        let mut m = pc.block(0).clone();
+        m.add_diag(1.0);
+        let f = geqrf(m);
+        let mut x = f.r();
+        invert_upper(x.as_mut());
+        zero_strict_lower(&mut x);
+        f.apply_qt_right(par_gemm, x.as_mut());
+        let mut out = SelectedInverse::new();
+        out.insert(0, 0, x);
+        return out;
+    }
+    let factor = StructuredQr::factor_lookahead(par_cols, par_gemm, pc);
+    factor.selected(par_cols, par_gemm, pattern)
 }
 
 /// The structured QR factorization of a block p-cyclic matrix
@@ -84,66 +162,126 @@ pub struct StructuredQr {
     /// Last-column fill `C_i = R(i, b−1)` for `i = 0..b−3` (empty if
     /// `b < 3`).
     c: Vec<Matrix>,
+    /// Cached diagonal factors `R_jj` (extracted once at factor time so
+    /// the assembly inner loops never re-materialize them).
+    r_diags: Vec<Matrix>,
     n: usize,
     b: usize,
 }
 
 impl StructuredQr {
-    /// Runs stage A on the p-cyclic matrix.
+    /// Runs stage A on the p-cyclic matrix, panels strictly in order (the
+    /// serial reference schedule; see [`Self::factor_lookahead`]).
     ///
     /// # Panics
     /// Panics if `b < 2` (use [`bsofi`] which handles `b = 1`).
     pub fn factor(par_gemm: Par<'_>, pc: &BlockPCyclic) -> Self {
+        Self::factor_impl(Par::Seq, par_gemm, pc)
+    }
+
+    /// Stage A with look-ahead pipelining: on a pool, the trailing
+    /// last-column update of panel `i` overlaps the QR + superdiagonal
+    /// update of panel `i+1` (the critical chain stays on the calling
+    /// thread). Output is bitwise-identical to [`Self::factor`] — every
+    /// kernel call sees the same inputs in either schedule. Traced under
+    /// the `bsofi.lookahead` span.
+    ///
+    /// # Panics
+    /// Panics if `b < 2`.
+    pub fn factor_lookahead(par_pipeline: Par<'_>, par_gemm: Par<'_>, pc: &BlockPCyclic) -> Self {
+        let _span = trace::span("bsofi.lookahead");
+        Self::factor_impl(par_pipeline, par_gemm, pc)
+    }
+
+    fn factor_impl(par_pipe: Par<'_>, par_gemm: Par<'_>, pc: &BlockPCyclic) -> Self {
         let n = pc.n();
         let b = pc.l();
         assert!(b >= 2, "StructuredQr requires at least two block rows");
-        let mut qrs = Vec::with_capacity(b);
-        let mut e = Vec::with_capacity(b - 1);
-        let mut c = Vec::with_capacity(b.saturating_sub(2));
+        let mut e: Vec<Matrix> = Vec::with_capacity(b - 1);
+        let mut c: Vec<Matrix> = Vec::with_capacity(b.saturating_sub(2));
         // Current diagonal block D_i (starts as the identity at row 0) and
         // the corner fill propagating down the last column.
         let mut d_cur = Matrix::identity(n);
         let mut corner = pc.block(0).clone();
-        for i in 0..b - 1 {
-            // Panel [D_i; −b̄_{i+1}].
+        // Panels 0..b−2 run as a two-stage pipeline: stage A carries the
+        // critical chain (QR of [D_i; −b̄_{i+1}], then the column-(i+1)
+        // update [0; I] → (E_i, D_{i+1})), stage B the trailing chain (the
+        // last-column update [corner; 0] → (C_i, corner')).
+        let mut qrs = {
+            let d_cur = &mut d_cur;
+            let e = &mut e;
+            let corner = &mut corner;
+            let c = &mut c;
+            fsi_runtime::pipeline(
+                par_pipe,
+                b - 2,
+                move |i| {
+                    let mut panel = Matrix::zeros(2 * n, n);
+                    panel.set_block(0, 0, d_cur.as_ref());
+                    {
+                        let mut bottom = panel.view_mut(n, 0, n, n);
+                        bottom.copy_from(pc.block(i + 1).as_ref());
+                        bottom.scale(-1.0);
+                    }
+                    let f = geqrf(panel);
+                    // Column i+1 currently holds [0; I] in rows (i, i+1).
+                    let mut col = Matrix::zeros(2 * n, n);
+                    col.view_mut(n, 0, n, n)
+                        .copy_from(Matrix::identity(n).as_ref());
+                    f.apply_qt_left(par_gemm, col.as_mut());
+                    e.push(col.block(0, 0, n, n));
+                    *d_cur = col.block(n, 0, n, n);
+                    f
+                },
+                move |_i, f: &QrFactor| {
+                    // Last column currently holds [corner; 0].
+                    let mut last = Matrix::zeros(2 * n, n);
+                    last.set_block(0, 0, corner.as_ref());
+                    f.apply_qt_left(par_gemm, last.as_mut());
+                    c.push(last.block(0, 0, n, n));
+                    *corner = last.block(n, 0, n, n);
+                },
+            )
+        };
+        // Panel b−2: column b−1 IS the last column, holding [corner; I] —
+        // the superdiagonal and corner fills merge, so the two pipeline
+        // chains converge and this panel runs after the pipeline drains.
+        {
             let mut panel = Matrix::zeros(2 * n, n);
             panel.set_block(0, 0, d_cur.as_ref());
             {
                 let mut bottom = panel.view_mut(n, 0, n, n);
-                bottom.copy_from(pc.block(i + 1).as_ref());
+                bottom.copy_from(pc.block(b - 1).as_ref());
                 bottom.scale(-1.0);
             }
             let f = geqrf(panel);
-            if i + 1 < b - 1 {
-                // Column i+1 currently holds [0; I] in rows (i, i+1).
-                let mut col = Matrix::zeros(2 * n, n);
-                col.view_mut(n, 0, n, n)
-                    .copy_from(Matrix::identity(n).as_ref());
-                f.apply_qt_left(par_gemm, col.as_mut());
-                e.push(col.block(0, 0, n, n));
-                d_cur = col.block(n, 0, n, n);
-                // Last column currently holds [corner; 0].
-                let mut last = Matrix::zeros(2 * n, n);
-                last.set_block(0, 0, corner.as_ref());
-                f.apply_qt_left(par_gemm, last.as_mut());
-                c.push(last.block(0, 0, n, n));
-                corner = last.block(n, 0, n, n);
-            } else {
-                // i+1 == b−1: the next column IS the last column, holding
-                // [corner; I]; the superdiagonal and corner fills merge.
-                let mut last = Matrix::zeros(2 * n, n);
-                last.set_block(0, 0, corner.as_ref());
-                last.view_mut(n, 0, n, n)
-                    .copy_from(Matrix::identity(n).as_ref());
-                f.apply_qt_left(par_gemm, last.as_mut());
-                e.push(last.block(0, 0, n, n));
-                d_cur = last.block(n, 0, n, n);
-            }
+            let mut last = Matrix::zeros(2 * n, n);
+            last.set_block(0, 0, corner.as_ref());
+            last.view_mut(n, 0, n, n)
+                .copy_from(Matrix::identity(n).as_ref());
+            f.apply_qt_left(par_gemm, last.as_mut());
+            e.push(last.block(0, 0, n, n));
+            d_cur = last.block(n, 0, n, n);
             qrs.push(f);
         }
         // Final N × N diagonal block.
         qrs.push(geqrf(d_cur));
-        StructuredQr { qrs, e, c, n, b }
+        let r_diags = qrs
+            .iter()
+            .map(|f| {
+                let mut r = Matrix::zeros(n, n);
+                f.write_r(r.as_mut());
+                r
+            })
+            .collect();
+        StructuredQr {
+            qrs,
+            e,
+            c,
+            r_diags,
+            n,
+            b,
+        }
     }
 
     /// Block size `N`.
@@ -156,9 +294,10 @@ impl StructuredQr {
         self.b
     }
 
-    /// The upper-triangular `N × N` diagonal factor `R_jj`.
-    pub fn r_diag(&self, j: usize) -> Matrix {
-        self.qrs[j].r()
+    /// The upper-triangular `N × N` diagonal factor `R_jj` (borrowed from
+    /// the cache built at factor time — no per-call allocation).
+    pub fn r_diag(&self, j: usize) -> &Matrix {
+        &self.r_diags[j]
     }
 
     /// Superdiagonal fill `E_j` (`j = b−2` is the merged last-column
@@ -221,16 +360,7 @@ impl StructuredQr {
     pub fn inverse(&self, par_cols: Par<'_>, par_gemm: Par<'_>) -> Matrix {
         let (n, b) = (self.n, self.b);
         let dim = b * n;
-        // Diagonal inverses R_jj⁻¹ (independent → parallel-friendly, but
-        // cheap: b triangles of size N).
-        let rinv: Vec<Matrix> = (0..b)
-            .map(|j| {
-                let mut r = self.r_diag(j);
-                invert_upper(r.as_mut());
-                zero_strict_lower(&mut r);
-                r
-            })
-            .collect();
+        let rinv = self.rinv_diagonals();
         let mut g = Matrix::zeros(dim, dim);
         // Stage B: build X = R⁻¹ column by column (independent columns →
         // parallel_map), then write the blocks into the dense output.
@@ -246,6 +376,210 @@ impl StructuredQr {
         // Stage C: Ḡ = X·Qᵀ.
         self.apply_qt_right_cols(par_cols, par_gemm, &mut g);
         g
+    }
+
+    /// Pattern-restricted stage B + C: assembles only the requested
+    /// blocks of `Ḡ` (see [`bsofi_selected`]). `par_rows` parallelizes
+    /// the stage C row bands of dense ([`SelectedPattern::Full`])
+    /// requests; `par_gemm` parallelizes inside the kernels.
+    pub fn selected(
+        &self,
+        par_rows: Par<'_>,
+        par_gemm: Par<'_>,
+        pattern: &SelectedPattern,
+    ) -> SelectedInverse {
+        let (n, b) = (self.n, self.b);
+        let rows = pattern.rows(b);
+        let kmin = rows[0];
+        let rinv = self.rinv_diagonals();
+        // Shared interior couplings W_j = −E_{j−1}·R_jj⁻¹: every row whose
+        // recurrence passes column j multiplies by the same W_j.
+        let mut w: Vec<Option<Matrix>> = (0..b).map(|_| None).collect();
+        for (j, slot) in w.iter_mut().enumerate().take(b - 1).skip(kmin + 1) {
+            let mut wj = Matrix::zeros(n, n);
+            gemm(
+                par_gemm,
+                -1.0,
+                self.e[j - 1].as_ref(),
+                rinv[j].as_ref(),
+                0.0,
+                wj.as_mut(),
+            );
+            *slot = Some(wj);
+        }
+        // Shared last block column X_{i,b−1} for i ≥ kmin (the only column
+        // whose recurrence needs the C fills).
+        let x_last = self.rinv_last_column_from(par_gemm, &rinv, kmin);
+        // Stage B: the requested rows of X = R⁻¹, written straight into a
+        // stacked buffer (band p ↔ block row rows[p]) — no per-row
+        // temporaries or restacking copies.
+        let mut buf = Matrix::zeros(rows.len() * n, b * n);
+        self.fill_x_rows(par_gemm, &rows, &rinv, &w, &x_last, kmin, &mut buf);
+        if matches!(pattern, SelectedPattern::Full) {
+            // Dense request: stage C degenerates to the full right-apply.
+            self.apply_qt_right_cols(par_rows, par_gemm, &mut buf);
+            let mut out = SelectedInverse::new();
+            for (p, &k) in rows.iter().enumerate() {
+                for l in pattern.cols_for_row(k, b) {
+                    out.insert(k, l, buf.block(p * n, l * n, n, n));
+                }
+            }
+            return out;
+        }
+        self.diagonal_chain(par_gemm, &rows, &buf)
+    }
+
+    /// Writes the requested rows of `X = R⁻¹` into `buf` (band `p` ↔
+    /// block row `rows[p]`): the diagonal blocks `X_kk = R_kk⁻¹` and the
+    /// shared last column first, then the chain columns
+    /// `X_kj = X_{k,j−1}·W_j` — batched per column, since every requested
+    /// row `k < j` advances with the *same* `W_j`, into one tall
+    /// `(prefix·N) × N × N` GEMM. Same flops as per-row chains, far
+    /// better kernel shapes.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_x_rows(
+        &self,
+        par_gemm: Par<'_>,
+        rows: &[usize],
+        rinv: &[Matrix],
+        w: &[Option<Matrix>],
+        x_last: &[Matrix],
+        kmin: usize,
+        buf: &mut Matrix,
+    ) {
+        let (n, b) = (self.n, self.b);
+        for (p, &k) in rows.iter().enumerate() {
+            if k < b - 1 {
+                buf.set_block(p * n, k * n, rinv[k].as_ref());
+            }
+            buf.set_block(p * n, (b - 1) * n, x_last[k - kmin].as_ref());
+        }
+        for (j, w_j) in w.iter().enumerate().take(b - 1).skip(kmin + 1) {
+            let prefix = rows.partition_point(|&k| k < j);
+            if prefix == 0 {
+                continue;
+            }
+            // Column j−1 of every chain row is complete (previous sweep
+            // step, or the diagonal block for row j−1 itself).
+            let (src, dst) = buf
+                .view_mut(0, (j - 1) * n, prefix * n, 2 * n)
+                .split_at_col(n);
+            gemm(
+                par_gemm,
+                1.0,
+                src.as_ref(),
+                w_j.as_ref().expect("W_j computed for j > kmin").as_ref(),
+                0.0,
+                dst,
+            );
+        }
+    }
+
+    /// Stage C for diagonal requests, as a live-column chain.
+    ///
+    /// With the panel transforms applied right-to-left, column `ℓ` of `Ḡ`
+    /// is final once transform `ℓ−1` has run, and at transform `i` only
+    /// two column blocks of the evolving product are ever read again:
+    /// column `i` for the requested rows `k ≤ i` (input to transform
+    /// `i−1`) and column `i+1` for row `i+1` (that row's final diagonal —
+    /// its column-`i` input is `X(i+1, i) = 0`). So instead of in-place
+    /// compact-WY slab applies, materialize the column half of `Q̃ᵢᵀ`
+    /// each group needs (one ORMQR on an `N`-wide identity block) and
+    /// advance the live block with plain GEMMs:
+    ///
+    /// ```text
+    /// live ← X(:, b−1)·Q̃_{b−1}ᵀ
+    /// for i = b−2, …:
+    ///   Ḡ(i+1, i+1) = live[i+1]·Z[N.., :]         Z = Q̃ᵢᵀ·[0; I]
+    ///   live[..gA]  = X(.., i)·Z'[..N, :]
+    ///               + live[..gA]·Z'[N.., :]       Z' = Q̃ᵢᵀ·[I; 0]
+    /// ```
+    ///
+    /// The GEMM shapes are tall and clean (`gA·N × N × N`), which is why
+    /// this path beats the dense inverse by more than its flop ratio.
+    fn diagonal_chain(&self, par_gemm: Par<'_>, rows: &[usize], buf: &Matrix) -> SelectedInverse {
+        let (n, b) = (self.n, self.b);
+        let r_cnt = rows.len();
+        let kmin = rows[0];
+        let mut out = SelectedInverse::new();
+        // live := X(:, b−1)·Q̃_{b−1}ᵀ (the final panel is N-wide).
+        let mut z_last = Matrix::identity(n);
+        self.qrs[b - 1].apply_qt_left(par_gemm, z_last.as_mut());
+        let mut live = Matrix::zeros(r_cnt * n, n);
+        gemm(
+            par_gemm,
+            1.0,
+            buf.view(0, (b - 1) * n, r_cnt * n, n),
+            z_last.as_ref(),
+            0.0,
+            live.as_mut(),
+        );
+        let mut scratch = Matrix::zeros(r_cnt * n, n);
+        let mut z = Matrix::zeros(2 * n, 2 * n);
+        for i in (kmin.saturating_sub(1)..b - 1).rev() {
+            // The gA requested rows `k ≤ i` precede row i+1 in the stack.
+            let ga = rows.partition_point(|&k| k <= i);
+            let has_b = rows.get(ga) == Some(&(i + 1));
+            if ga == 0 && !has_b {
+                continue;
+            }
+            // Materialize only the column halves of Q̃ᵢᵀ this step reads
+            // (columns 0..N feed the live advance, columns N..2N the
+            // finished diagonal); one apply on a shifted identity covers
+            // both, and the ORMQR charge is linear in the width either way.
+            let lo = if ga > 0 { 0 } else { n };
+            let hi = if has_b { 2 * n } else { n };
+            fill_shifted_identity(&mut z, lo, hi - lo);
+            self.qrs[i].apply_qt_left(par_gemm, z.view_mut(0, 0, 2 * n, hi - lo));
+            if has_b {
+                let mut g = Matrix::zeros(n, n);
+                gemm(
+                    par_gemm,
+                    1.0,
+                    live.view(ga * n, 0, n, n),
+                    z.view(n, n - lo, n, n),
+                    0.0,
+                    g.as_mut(),
+                );
+                out.insert(i + 1, i + 1, g);
+            }
+            if ga > 0 {
+                gemm(
+                    par_gemm,
+                    1.0,
+                    buf.view(0, i * n, ga * n, n),
+                    z.view(0, 0, n, n),
+                    0.0,
+                    scratch.view_mut(0, 0, ga * n, n),
+                );
+                gemm(
+                    par_gemm,
+                    1.0,
+                    live.view(0, 0, ga * n, n),
+                    z.view(n, 0, n, n),
+                    1.0,
+                    scratch.view_mut(0, 0, ga * n, n),
+                );
+                std::mem::swap(&mut live, &mut scratch);
+            }
+        }
+        if kmin == 0 {
+            out.insert(0, 0, live.block(0, 0, n, n));
+        }
+        out
+    }
+
+    /// The diagonal inverses `R_jj⁻¹` (independent; cheap: `b` triangles
+    /// of size `N`).
+    fn rinv_diagonals(&self) -> Vec<Matrix> {
+        (0..self.b)
+            .map(|j| {
+                let mut r = self.r_diag(j).clone();
+                invert_upper(r.as_mut());
+                zero_strict_lower(&mut r);
+                r
+            })
+            .collect()
     }
 
     /// Stage C with row-band parallelism: each pool worker owns a disjoint
@@ -335,6 +669,66 @@ impl StructuredQr {
         }
         out
     }
+
+    /// The last block column `X_{i,b−1}` of `X = R⁻¹` for `i ≥ stop`, via
+    /// the same upward recurrence as [`Self::rinv_column`] truncated at
+    /// `stop`. Entry `i` lands at index `i − stop`.
+    fn rinv_last_column_from(
+        &self,
+        par_gemm: Par<'_>,
+        rinv: &[Matrix],
+        stop: usize,
+    ) -> Vec<Matrix> {
+        let (n, b) = (self.n, self.b);
+        let mut out = vec![Matrix::zeros(0, 0); b - stop];
+        out[b - 1 - stop] = rinv[b - 1].clone();
+        for i in (stop..b - 1).rev() {
+            let mut t = Matrix::zeros(n, n);
+            gemm(
+                par_gemm,
+                -1.0,
+                self.e[i].as_ref(),
+                out[i + 1 - stop].as_ref(),
+                0.0,
+                t.as_mut(),
+            );
+            if i <= b.saturating_sub(3) && i < self.c.len() {
+                gemm(
+                    par_gemm,
+                    -1.0,
+                    self.c[i].as_ref(),
+                    out[b - 1 - stop].as_ref(),
+                    1.0,
+                    t.as_mut(),
+                );
+            }
+            let mut xi = Matrix::zeros(n, n);
+            gemm(
+                par_gemm,
+                1.0,
+                rinv[i].as_ref(),
+                t.as_ref(),
+                0.0,
+                xi.as_mut(),
+            );
+            out[i - stop] = xi;
+        }
+        out
+    }
+}
+
+/// Fills the first `cols` columns of `z` with an identity block whose
+/// top-left corner is at row `off`, zeros elsewhere — the right-hand side
+/// that materializes column `off..off+cols` of `Q̃ᵢᵀ` under
+/// [`QrFactor::apply_qt_left`].
+fn fill_shifted_identity(z: &mut Matrix, off: usize, cols: usize) {
+    let rows = z.rows();
+    for j in 0..cols {
+        for i in 0..rows {
+            z[(i, j)] = 0.0;
+        }
+        z[(off + j, j)] = 1.0;
+    }
 }
 
 /// Zeroes the strict lower triangle (invert_upper leaves the reflector
@@ -348,7 +742,9 @@ fn zero_strict_lower(m: &mut Matrix) {
     }
 }
 
-/// Closed-form flop count of BSOFI (paper §II-C): `≈ 7b²N³`.
+/// Closed-form flop count of full BSOFI (paper §II-C): `≈ 7b²N³`. The
+/// exact kernel-by-kernel counts (including the selected-assembly paths)
+/// live in [`crate::flops::bsofi_selected_flops`].
 pub fn bsofi_flops(n: usize, b: usize) -> u64 {
     7 * (b as u64).pow(2) * (n as u64).pow(3)
 }
@@ -419,6 +815,94 @@ mod tests {
     }
 
     #[test]
+    fn lookahead_factor_is_bitwise_identical_to_serial() {
+        let pool = ThreadPool::new(3);
+        for &(n, b) in &[(3usize, 2usize), (2, 3), (4, 5), (3, 8)] {
+            let pc = random_pcyclic(n, b, (17 * n + b) as u64);
+            let serial = StructuredQr::factor(Par::Seq, &pc);
+            let look = StructuredQr::factor_lookahead(Par::Pool(&pool), Par::Seq, &pc);
+            assert_eq!(
+                serial.assemble_r().as_slice(),
+                look.assemble_r().as_slice(),
+                "(n={n}, b={b}) R factors differ"
+            );
+            let gs = serial.inverse(Par::Seq, Par::Seq);
+            let gl = look.inverse(Par::Seq, Par::Seq);
+            assert_eq!(
+                gs.as_slice(),
+                gl.as_slice(),
+                "(n={n}, b={b}) inverses differ"
+            );
+        }
+    }
+
+    #[test]
+    fn selected_patterns_match_dense_inverse() {
+        for &(n, b) in &[(2usize, 2usize), (3, 4), (2, 6), (4, 3)] {
+            let pc = random_pcyclic(n, b, (n * 13 + b * 7) as u64);
+            let dense = bsofi(Par::Seq, Par::Seq, &pc);
+            let mut patterns = vec![SelectedPattern::Diagonals, SelectedPattern::Full];
+            patterns.extend((0..b).map(SelectedPattern::DiagonalBlock));
+            for pattern in patterns {
+                let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+                let coords = pattern.coordinates(b);
+                assert_eq!(sel.len(), coords.len(), "{pattern:?} block count");
+                for (k, l) in coords {
+                    let got = sel.get(k, l).expect("requested block");
+                    let want = pc.dense_block(&dense, k, l);
+                    let err = rel_error(got, &want);
+                    assert!(err < 1e-13, "(n={n}, b={b}) {pattern:?} ({k},{l}): {err}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn selected_single_block_matrix() {
+        let pc = random_pcyclic(4, 1, 19);
+        let want = pc.reference_green(Par::Seq);
+        for pattern in [
+            SelectedPattern::Diagonals,
+            SelectedPattern::DiagonalBlock(0),
+            SelectedPattern::Full,
+        ] {
+            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+            assert_eq!(sel.len(), 1);
+            let got = sel.get(0, 0).expect("single block");
+            assert!(rel_error(got, &want) < 1e-10, "{pattern:?}");
+        }
+    }
+
+    #[test]
+    fn selected_parallel_modes_match_sequential() {
+        let pool = ThreadPool::new(4);
+        let pc = random_pcyclic(5, 6, 23);
+        for pattern in [
+            SelectedPattern::Diagonals,
+            SelectedPattern::DiagonalBlock(3),
+            SelectedPattern::Full,
+        ] {
+            let seq = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+            let rows_par = bsofi_selected(Par::Pool(&pool), Par::Seq, &pc, &pattern);
+            let gemm_par = bsofi_selected(Par::Seq, Par::Pool(&pool), &pc, &pattern);
+            for (coord, blk) in seq.iter() {
+                let r = rows_par.get(coord.0, coord.1).expect("rows-par block");
+                let g = gemm_par.get(coord.0, coord.1).expect("gemm-par block");
+                assert_eq!(
+                    blk.as_slice(),
+                    r.as_slice(),
+                    "{pattern:?} rows-par {coord:?}"
+                );
+                assert_eq!(
+                    blk.as_slice(),
+                    g.as_slice(),
+                    "{pattern:?} gemm-par {coord:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn hubbard_reduced_matrix_inverts() {
         use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, SquareLattice};
         use rand::SeedableRng;
@@ -452,6 +936,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn r_diag_is_borrowed_and_stable() {
+        let pc = random_pcyclic(3, 4, 14);
+        let f = StructuredQr::factor(Par::Seq, &pc);
+        // Two calls return the same cached storage, not fresh copies.
+        let a: *const Matrix = f.r_diag(2);
+        let b: *const Matrix = f.r_diag(2);
+        assert_eq!(a, b);
     }
 
     #[test]

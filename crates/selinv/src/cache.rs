@@ -17,7 +17,7 @@
 //! `c | stabilize_every` (the default configuration satisfies this).
 //!
 //! Correctness is bitwise, not approximate: stale products go through the
-//! exact same [`crate::cls::cluster_product`] path a cold [`crate::cls`]
+//! exact same `cluster_product` path a cold [`crate::cls()`]
 //! run uses (deterministic GEMM writeback, PR 2), and clean products are
 //! reused verbatim. Each reused product opens a zero-flop
 //! `cls.cache_hit` span and each recomputation a `cls.cache_miss` span
@@ -34,6 +34,25 @@ use crate::cls::{cluster_product, Clustered};
 type CacheKey = (usize, usize, usize, usize);
 
 /// Dirty-slice-tracking cache of the `b` CLS cluster products.
+///
+/// ```
+/// use fsi_runtime::Par;
+/// use fsi_selinv::ClusterCache;
+/// let pc = fsi_pcyclic::random_pcyclic(4, 8, 3);
+/// let blocks: Vec<_> = (0..pc.l()).map(|k| pc.block(k).clone()).collect();
+/// let mut cache = ClusterCache::new();
+/// // Cold build: all b = L/c = 2 cluster products are computed.
+/// let clean = vec![false; blocks.len()];
+/// let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, &blocks, &clean, 4, 2);
+/// assert_eq!(rebuilt, 2);
+/// // One dirty slice: only the cluster containing it is recomputed.
+/// let mut dirty = clean.clone();
+/// dirty[0] = true;
+/// let (clustered, rebuilt) = cache.cls(Par::Seq, Par::Seq, &blocks, &dirty, 4, 2);
+/// assert_eq!(rebuilt, 1);
+/// assert_eq!((cache.hits(), cache.misses()), (1, 3));
+/// assert_eq!(clustered.b(), 2);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct ClusterCache {
     key: Option<CacheKey>,
@@ -64,7 +83,7 @@ impl ClusterCache {
         self.products.clear();
     }
 
-    /// Incremental [`crate::cls`]: recomputes only the cluster products
+    /// Incremental [`crate::cls()`]: recomputes only the cluster products
     /// with a dirty constituent slice (all of them on a cold or re-keyed
     /// cache) and reuses the rest. Returns the clustered matrix plus the
     /// number of products rebuilt.

@@ -13,11 +13,89 @@
 //! next to *measured* flop counts from [`fsi_runtime::flops`] so the two
 //! can be compared directly.
 
-use crate::patterns::Pattern;
+use crate::patterns::{Pattern, SelectedPattern};
+use fsi_runtime::flops::counts;
 
 /// `N³` as u64.
 fn n3(n: usize) -> u64 {
     (n as u64).pow(3)
+}
+
+/// Exact flop count of [`crate::StructuredQr::factor`] /
+/// `factor_lookahead` (stage A of BSOFI), mirroring the kernel charge
+/// sequence call for call: `b−1` Householder QRs of `2N×N` panels,
+/// `2b−3` left-applies of panel transforms to `2N×N` column slabs (one
+/// superdiagonal + one last-column update per interior panel, merged for
+/// panel `b−2`), and the final `N×N` QR. The look-ahead schedule reorders
+/// but never changes these calls, so serial and pipelined factors charge
+/// identically.
+///
+/// # Panics
+/// Panics if `b < 2` (the `b = 1` degenerate path is accounted inside
+/// [`bsofi_selected_flops`]).
+pub fn structured_qr_flops(n: usize, b: usize) -> u64 {
+    assert!(b >= 2, "structured QR needs at least two block rows");
+    (b as u64 - 1) * counts::geqrf(2 * n, n)
+        + (2 * b as u64 - 3) * counts::ormqr(2 * n, n, n)
+        + counts::geqrf(n, n)
+}
+
+/// Exact flop count of [`crate::bsofi_selected`] for a given request,
+/// mirroring the kernel charges of the selected assembly call for call:
+/// the structured QR, the `b` diagonal triangle inversions, the shared
+/// couplings `W_j` and last block column, the per-row recurrences, and
+/// the stage C path the pattern selects — the dense right-apply for
+/// [`SelectedPattern::Full`], the live-column chain (one ORMQR per needed
+/// half of `Q̃ᵢᵀ` plus plain GEMMs) for the diagonal requests. The
+/// `bsofi.selected` trace span measures exactly this value (asserted in
+/// the observability suite).
+pub fn bsofi_selected_flops(n: usize, b: usize, pattern: &SelectedPattern) -> u64 {
+    if b == 1 {
+        // Degenerate path: QR of M̄, triangle inversion, one right-apply.
+        return counts::geqrf(n, n) + 2 * counts::trtri(n) + counts::ormqr(n, n, n);
+    }
+    let rows = pattern.rows(b);
+    let kmin = rows[0];
+    let mut total = structured_qr_flops(n, b);
+    // R_jj⁻¹ for every diagonal block (invert_upper charges 2·trtri).
+    total += b as u64 * 2 * counts::trtri(n);
+    // Shared couplings W_j = −E_{j−1}·R_jj⁻¹ for kmin < j < b−1.
+    total += ((b - 1).saturating_sub(kmin + 1)) as u64 * counts::gemm(n, n, n);
+    // Shared last column X_{i,b−1}, i = b−2..kmin: two GEMMs per step plus
+    // the C-fill term where it exists (i ≤ b−3, i.e. b ≥ 3).
+    for i in kmin..b - 1 {
+        let gemms = if b >= 3 && i <= b - 3 { 3 } else { 2 };
+        total += gemms * counts::gemm(n, n, n);
+    }
+    // Row recurrences: row k < b−1 chains through columns k+1..b−2.
+    for &k in &rows {
+        total += ((b - 1).saturating_sub(k + 1)) as u64 * counts::gemm(n, n, n);
+    }
+    if matches!(pattern, SelectedPattern::Full) {
+        // Dense request: stage C is the full right-apply of every panel
+        // to the whole stacked buffer.
+        for i in 0..b {
+            let panel_m = if i == b - 1 { n } else { 2 * n };
+            total += counts::ormqr(panel_m, n, rows.len() * n);
+        }
+        return total;
+    }
+    // Diagonal requests: the live-column chain. The final panel's half is
+    // one N×N ORMQR plus the live-block init; each earlier transform
+    // materializes the half (or halves) of Q̃ᵢᵀ it needs — one ORMQR on an
+    // N-wide identity block each — and advances with plain GEMMs.
+    total += counts::ormqr(n, n, n);
+    total += counts::gemm(rows.len() * n, n, n);
+    for i in kmin.saturating_sub(1)..b - 1 {
+        let ga = rows.partition_point(|&k| k <= i);
+        if rows.get(ga) == Some(&(i + 1)) {
+            total += counts::ormqr(2 * n, n, n) + counts::gemm(n, n, n);
+        }
+        if ga > 0 {
+            total += counts::ormqr(2 * n, n, n) + 2 * counts::gemm(ga * n, n, n);
+        }
+    }
+    total
 }
 
 /// Flops of the explicit-form computation (paper table, left column).
@@ -107,6 +185,47 @@ mod tests {
                 (0.5..2.0).contains(&ratio),
                 "{pattern:?}: exact {exact} vs table {rounded}"
             );
+        }
+    }
+
+    #[test]
+    fn structured_qr_count_is_exact_at_b2() {
+        use fsi_runtime::flops::counts;
+        // b = 2: one 2N×N panel QR, one merged last-column apply, one N×N QR.
+        let n = 5;
+        assert_eq!(
+            structured_qr_flops(n, 2),
+            counts::geqrf(2 * n, n) + counts::ormqr(2 * n, n, n) + counts::geqrf(n, n)
+        );
+    }
+
+    #[test]
+    fn selected_flops_ordering_and_savings() {
+        let (n, b) = (64usize, 16usize);
+        let single = bsofi_selected_flops(n, b, &SelectedPattern::DiagonalBlock(7));
+        let diags = bsofi_selected_flops(n, b, &SelectedPattern::Diagonals);
+        let full = bsofi_selected_flops(n, b, &SelectedPattern::Full);
+        assert!(single < diags, "{single} vs {diags}");
+        assert!(diags < full, "{diags} vs {full}");
+        // Diagonal-only stage C truncation is the headline saving.
+        let ratio = full as f64 / diags as f64;
+        assert!(ratio > 1.3, "full/diagonals flop ratio {ratio}");
+        // A single block skips almost all of stage B/C beyond the factor.
+        let factor = structured_qr_flops(n, b);
+        assert!((single - factor) * 4 < full - factor);
+    }
+
+    #[test]
+    fn selected_flops_single_block_matrix() {
+        use fsi_runtime::flops::counts;
+        let n = 6;
+        let want = counts::geqrf(n, n) + 2 * counts::trtri(n) + counts::ormqr(n, n, n);
+        for pattern in [
+            SelectedPattern::Diagonals,
+            SelectedPattern::DiagonalBlock(0),
+            SelectedPattern::Full,
+        ] {
+            assert_eq!(bsofi_selected_flops(n, 1, &pattern), want);
         }
     }
 

@@ -26,10 +26,10 @@ use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::{Par, Profile, ThreadPool};
 use rand::Rng;
 
-use crate::bsofi::bsofi;
+use crate::bsofi::{bsofi, bsofi_selected};
 use crate::cls::{cls, Clustered};
-use crate::patterns::{SelectedInverse, Selection};
-use crate::wrap::wrap;
+use crate::patterns::{SelectedInverse, SelectedPattern, Selection};
+use crate::wrap::{wrap, wrap_selected};
 
 /// Execution style of one FSI invocation.
 #[derive(Clone, Copy)]
@@ -74,6 +74,44 @@ impl<'p> Parallelism<'p> {
     }
 }
 
+/// The reduced inverse `Ḡ = M̄⁻¹` in whichever representation the BSOFI
+/// stage produced: dense (S3/S4, which seed walks from every block) or
+/// sparse (S1/S2, which need only the diagonal seeds and skip the
+/// `(bN)²` materialization entirely).
+pub enum ReducedInverse {
+    /// The full `bN × bN` inverse from [`bsofi`].
+    Dense(Matrix),
+    /// Only the requested blocks, from [`bsofi_selected`].
+    Selected(SelectedInverse),
+}
+
+impl ReducedInverse {
+    /// The dense matrix, if this run materialized one.
+    pub fn dense(&self) -> Option<&Matrix> {
+        match self {
+            ReducedInverse::Dense(g) => Some(g),
+            ReducedInverse::Selected(_) => None,
+        }
+    }
+
+    /// The sparse block map, if this run used selected assembly.
+    pub fn selected(&self) -> Option<&SelectedInverse> {
+        match self {
+            ReducedInverse::Dense(_) => None,
+            ReducedInverse::Selected(s) => Some(s),
+        }
+    }
+
+    /// Looks up reduced block `Ḡ(k₀, ℓ₀)` regardless of representation;
+    /// `None` if a sparse run did not assemble it.
+    pub fn block(&self, clustered: &Clustered, k0: usize, l0: usize) -> Option<Matrix> {
+        match self {
+            ReducedInverse::Dense(g) => Some(clustered.reduced.dense_block(g, k0, l0)),
+            ReducedInverse::Selected(s) => s.get(k0, l0).cloned(),
+        }
+    }
+}
+
 /// Result of one FSI run: the selected blocks plus per-stage wall times
 /// (sections `"cls"`, `"bsofi"`, `"wrap"`) for the Fig. 8 breakdown.
 pub struct FsiOutput {
@@ -83,21 +121,38 @@ pub struct FsiOutput {
     pub profile: Profile,
     /// The clustering actually used (exposes `q` and the reduced matrix).
     pub clustered: Clustered,
-    /// The dense reduced inverse `Ḡ` (kept for callers that need extra
-    /// seeds, e.g. the DQMC stabilizer; `(L/c · N)²` doubles).
-    pub g_reduced: Matrix,
+    /// The reduced inverse `Ḡ` (kept for callers that need extra seeds,
+    /// e.g. the measurement driver): dense for S3/S4 runs, sparse diagonal
+    /// seeds for S1/S2 runs.
+    pub g_reduced: ReducedInverse,
 }
 
 /// Runs Alg. 1 with an explicitly chosen shift `q` (deterministic; the
 /// random-`q` entry point is [`fsi`]).
+///
+/// The BSOFI stage is pattern-aware: diagonal and sub-diagonal selections
+/// request only the diagonal seed blocks via [`bsofi_selected`]
+/// (truncated assembly, no dense `Ḡ`), while row/column selections — whose
+/// wraps walk from every block — take the dense [`bsofi`] path.
 pub fn fsi_with_q(par: Parallelism<'_>, pc: &BlockPCyclic, selection: &Selection) -> FsiOutput {
     let (outer, inner) = par.split();
     let _fsi_span = fsi_runtime::trace::span("fsi");
     let mut profile = Profile::new();
     let clustered = profile.time("cls", || cls(outer, inner, pc, selection.c, selection.q));
-    let g_reduced = profile.time("bsofi", || bsofi(outer, inner, &clustered.reduced));
-    let selected = profile.time("wrap", || {
-        wrap(outer, pc, &clustered, &g_reduced, selection)
+    let g_reduced = profile.time("bsofi", || {
+        match SelectedPattern::for_wrap(selection.pattern) {
+            SelectedPattern::Full => ReducedInverse::Dense(bsofi(outer, inner, &clustered.reduced)),
+            seed_pattern => ReducedInverse::Selected(bsofi_selected(
+                outer,
+                inner,
+                &clustered.reduced,
+                &seed_pattern,
+            )),
+        }
+    });
+    let selected = profile.time("wrap", || match &g_reduced {
+        ReducedInverse::Dense(g) => wrap(outer, pc, &clustered, g, selection),
+        ReducedInverse::Selected(seeds) => wrap_selected(outer, pc, &clustered, seeds, selection),
     });
 
     FsiOutput {
@@ -111,6 +166,22 @@ pub fn fsi_with_q(par: Parallelism<'_>, pc: &BlockPCyclic, selection: &Selection
 /// Runs Alg. 1, drawing the shift `q` uniformly from `0..c` (the paper
 /// randomizes `q` so repeated Green's functions sample all block
 /// positions).
+///
+/// ```
+/// use fsi_selinv::{fsi, Parallelism, Pattern};
+/// use rand::SeedableRng;
+/// let pc = fsi_pcyclic::random_pcyclic(3, 8, 42);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let out = fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng);
+/// // b = L/c = 2 diagonal blocks selected, validated against the dense
+/// // reference inverse.
+/// assert_eq!(out.selected.len(), 2);
+/// let g_ref = pc.reference_green(fsi_runtime::Par::Seq);
+/// for (&(k, l), blk) in out.selected.iter() {
+///     let want = pc.dense_block(&g_ref, k, l);
+///     assert!(fsi_dense::rel_error(blk, &want) < 1e-8);
+/// }
+/// ```
 pub fn fsi<R: Rng + ?Sized>(
     par: Parallelism<'_>,
     pc: &BlockPCyclic,
@@ -139,16 +210,20 @@ pub fn fsi_measurement_set(
     let (outer, _) = par.split();
     let rows_sel = Selection::new(crate::patterns::Pattern::Rows, c, q);
     let out = fsi_with_q(par, pc, &rows_sel);
+    let g_reduced = out
+        .g_reduced
+        .dense()
+        .expect("rows selection materializes the dense reduced inverse");
     let mut merged = out.selected;
     let cols = crate::wrap::wrap(
         outer,
         pc,
         &out.clustered,
-        &out.g_reduced,
+        g_reduced,
         &Selection::new(crate::patterns::Pattern::Columns, c, q),
     );
     merged.merge(cols);
-    let diags = crate::wrap::wrap_all_diagonals(outer, pc, &out.clustered, &out.g_reduced);
+    let diags = crate::wrap::wrap_all_diagonals(outer, pc, &out.clustered, g_reduced);
     merged.merge(diags.clone());
     (merged, diags)
 }
@@ -254,6 +329,25 @@ mod tests {
                 let want = pc.dense_block(&g_ref, k, l);
                 assert!(rel_error(blk, &want) < 1e-8, "({k},{l})");
             }
+        }
+    }
+
+    #[test]
+    fn reduced_inverse_representation_matches_pattern() {
+        let pc = random_pcyclic(2, 8, 81);
+        for pattern in [Pattern::Diagonal, Pattern::SubDiagonal] {
+            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1));
+            assert!(out.g_reduced.selected().is_some(), "{pattern:?}");
+            assert!(out.g_reduced.dense().is_none(), "{pattern:?}");
+            // Uniform accessor: diagonal seeds present, off-diagonals not
+            // assembled by the sparse path.
+            assert!(out.g_reduced.block(&out.clustered, 0, 0).is_some());
+            assert!(out.g_reduced.block(&out.clustered, 0, 1).is_none());
+        }
+        for pattern in [Pattern::Columns, Pattern::Rows] {
+            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1));
+            assert!(out.g_reduced.dense().is_some(), "{pattern:?}");
+            assert!(out.g_reduced.block(&out.clustered, 0, 1).is_some());
         }
     }
 

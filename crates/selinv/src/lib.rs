@@ -7,16 +7,18 @@
 //!
 //! The pipeline (Alg. 1), one module per stage:
 //!
-//! * [`cls`] — factor-of-`c` block cyclic reduction with a random shift
+//! * [`cls`](mod@cls) — factor-of-`c` block cyclic reduction with a random shift
 //!   `q`: `L` blocks collapse into `b = L/c` cluster products;
 //! * [`cache`] — incremental clustering: dirty-slice tracking reuses the
 //!   cluster products untouched since the previous refresh;
-//! * [`bsofi`] — full inverse of the reduced matrix by the block
-//!   structured orthogonal factorization of Gogolenko–Bai–Scalettar;
-//! * [`wrap`] — the reduced inverse's blocks are exact blocks of the
+//! * [`bsofi`](mod@bsofi) — inverse of the reduced matrix by the block structured
+//!   orthogonal factorization of Gogolenko–Bai–Scalettar, with a
+//!   look-ahead pipelined factor and a pattern-aware selected-assembly
+//!   path that skips the dense materialization for diagonal requests;
+//! * [`wrap`](mod@wrap) — the reduced inverse's blocks are exact blocks of the
 //!   original Green's function (`Ḡ(k₀,ℓ₀) = G(ck₀+o, cℓ₀+o)`); the
 //!   adjacency relations (4)–(7) grow the selection from those seeds;
-//! * [`fsi`] — the driver tying the stages together, with the paper's two
+//! * [`fsi`](mod@fsi) — the driver tying the stages together, with the paper's two
 //!   single-socket execution styles (coarse-grained "OpenMP" vs
 //!   fine-grained "MKL") selectable per run;
 //! * [`patterns`] — the four selection shapes S1–S4 and the sparse
@@ -30,7 +32,7 @@
 //!   (structured factorization + seeds + wrapping recurrences) applied to
 //!   block tridiagonal matrices.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod baselines;
 pub mod bsofi;
@@ -44,12 +46,15 @@ pub mod stability;
 pub mod tridiag;
 pub mod wrap;
 
-pub use bsofi::{bsofi, StructuredQr};
+pub use bsofi::{bsofi, bsofi_selected, StructuredQr};
 pub use cache::ClusterCache;
 pub use cls::{cls, cls_flops, cls_incremental_flops, Clustered};
-pub use fsi::{fsi, fsi_with_q, FsiOutput, Parallelism};
+pub use flops::{bsofi_selected_flops, structured_qr_flops};
+pub use fsi::{fsi, fsi_with_q, FsiOutput, Parallelism, ReducedInverse};
 pub use multi::{run_multi, MemoryModel, MultiConfig, MultiResult};
-pub use patterns::{Pattern, SelectedInverse, Selection};
+pub use patterns::{Pattern, SelectedInverse, SelectedPattern, Selection};
 pub use stability::{auto_cluster_size, growth_rate, max_stable_cluster};
 pub use tridiag::{random_tridiagonal, BlockTridiagonal, TridiagFactor};
-pub use wrap::{wrap, wrap_all_diagonals, BlockFactors};
+pub use wrap::{
+    wrap, wrap_all_diagonals, wrap_all_diagonals_selected, wrap_selected, BlockFactors,
+};

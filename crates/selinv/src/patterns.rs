@@ -68,6 +68,99 @@ impl Pattern {
     }
 }
 
+/// Which block rows of the *reduced* inverse `Ḡ = M̄⁻¹` a BSOFI call must
+/// assemble — the request [`crate::bsofi::bsofi_selected`] specializes on.
+///
+/// The original-level patterns S1–S4 reduce to exactly two seed shapes
+/// (paper Alg. 2): the diagonal patterns need only the `b` diagonal seed
+/// blocks `Ḡ(k, k)`, while the row/column patterns need all `b²` blocks.
+/// The DQMC stabilizer adds a third shape: a single diagonal block.
+///
+/// ```
+/// use fsi_selinv::{Pattern, SelectedPattern};
+/// // S1/S2 wraps grow from diagonal seeds; S3/S4 need every block.
+/// assert_eq!(SelectedPattern::for_wrap(Pattern::Diagonal), SelectedPattern::Diagonals);
+/// assert_eq!(SelectedPattern::for_wrap(Pattern::Rows), SelectedPattern::Full);
+/// // Diagonals at b = 4 yields the 4 blocks (k, k).
+/// assert_eq!(SelectedPattern::Diagonals.coordinates(4).len(), 4);
+/// assert_eq!(SelectedPattern::DiagonalBlock(2).coordinates(4), vec![(2, 2)]);
+/// assert_eq!(SelectedPattern::Full.coordinates(3).len(), 9);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelectedPattern {
+    /// All `b` diagonal blocks `Ḡ(k, k)` — the seeds of the S1/S2 wraps
+    /// and of [`crate::wrap::wrap_all_diagonals`].
+    Diagonals,
+    /// One diagonal block `Ḡ(k, k)` — the DQMC stabilizer's request.
+    DiagonalBlock(usize),
+    /// Every block of `Ḡ` — the S3/S4 (rows/columns) seed set; assembly
+    /// degenerates to the dense inverse.
+    Full,
+}
+
+impl SelectedPattern {
+    /// The reduced-level seed shape an original-level [`Pattern`] needs.
+    pub fn for_wrap(pattern: Pattern) -> SelectedPattern {
+        match pattern {
+            Pattern::Diagonal | Pattern::SubDiagonal => SelectedPattern::Diagonals,
+            Pattern::Columns | Pattern::Rows => SelectedPattern::Full,
+        }
+    }
+
+    /// The block rows of `Ḡ` that must be assembled, ascending.
+    ///
+    /// # Panics
+    /// Panics if a [`SelectedPattern::DiagonalBlock`] index is `≥ b`.
+    pub fn rows(&self, b: usize) -> Vec<usize> {
+        match *self {
+            SelectedPattern::Diagonals | SelectedPattern::Full => (0..b).collect(),
+            SelectedPattern::DiagonalBlock(k) => {
+                assert!(k < b, "diagonal block {k} out of range for b={b}");
+                vec![k]
+            }
+        }
+    }
+
+    /// The block columns wanted within assembled row `k`.
+    pub fn cols_for_row(&self, k: usize, b: usize) -> Vec<usize> {
+        match *self {
+            SelectedPattern::Diagonals | SelectedPattern::DiagonalBlock(_) => vec![k],
+            SelectedPattern::Full => (0..b).collect(),
+        }
+    }
+
+    /// All requested `(k, ℓ)` block coordinates of `Ḡ`.
+    pub fn coordinates(&self, b: usize) -> Vec<(usize, usize)> {
+        self.rows(b)
+            .into_iter()
+            .flat_map(|k| self.cols_for_row(k, b).into_iter().map(move |l| (k, l)))
+            .collect()
+    }
+
+    /// How many of the assembled rows (a prefix of [`Self::rows`], stacked
+    /// top-down) panel transform `i` of stage C must touch: row `k`'s
+    /// wanted columns are final once transforms `b−1, …, min(ℓ)−1` have
+    /// been applied, so row `k` participates in transform `i` iff
+    /// `i + 1 ≥ min(cols_for_row(k))`. Zero means the transform is skipped
+    /// entirely — the flop saving of selected assembly.
+    pub fn active_rows(&self, i: usize, b: usize) -> usize {
+        match *self {
+            SelectedPattern::Full => b,
+            SelectedPattern::Diagonals => (i + 2).min(b),
+            SelectedPattern::DiagonalBlock(k) => usize::from(i + 1 >= k),
+        }
+    }
+
+    /// Display label for benches and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectedPattern::Diagonals => "diagonals",
+            SelectedPattern::DiagonalBlock(_) => "diagonal-block",
+            SelectedPattern::Full => "full",
+        }
+    }
+}
+
 /// A concrete selection: pattern + clustering size + random shift.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Selection {
@@ -160,6 +253,12 @@ impl SelectedInverse {
     /// Looks up block `(k, ℓ)`.
     pub fn get(&self, k: usize, l: usize) -> Option<&Matrix> {
         self.blocks.get(&(k, l))
+    }
+
+    /// Removes and returns block `(k, ℓ)` — callers that consume a single
+    /// block (the DQMC stabilizer) avoid a copy.
+    pub fn remove(&mut self, k: usize, l: usize) -> Option<Matrix> {
+        self.blocks.remove(&(k, l))
     }
 
     /// Whether block `(k, ℓ)` is present.
@@ -286,6 +385,30 @@ mod tests {
         other.insert(0, 0, Matrix::identity(3));
         s.merge(other);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn selected_pattern_rows_and_active_counts() {
+        let b = 5;
+        assert_eq!(SelectedPattern::Diagonals.rows(b), vec![0, 1, 2, 3, 4]);
+        assert_eq!(SelectedPattern::DiagonalBlock(3).rows(b), vec![3]);
+        assert_eq!(SelectedPattern::Full.coordinates(b).len(), b * b);
+        // Diagonals: transform i touches rows k ≤ i+1, capped at b.
+        assert_eq!(SelectedPattern::Diagonals.active_rows(0, b), 2);
+        assert_eq!(SelectedPattern::Diagonals.active_rows(3, b), 5);
+        assert_eq!(SelectedPattern::Diagonals.active_rows(4, b), 5);
+        // Single block k: only transforms i ≥ k−1 touch it.
+        assert_eq!(SelectedPattern::DiagonalBlock(3).active_rows(1, b), 0);
+        assert_eq!(SelectedPattern::DiagonalBlock(3).active_rows(2, b), 1);
+        assert_eq!(SelectedPattern::DiagonalBlock(0).active_rows(0, b), 1);
+        // Full: every transform touches every row.
+        assert_eq!(SelectedPattern::Full.active_rows(0, b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn selected_pattern_block_bounds_checked() {
+        SelectedPattern::DiagonalBlock(4).rows(4);
     }
 
     #[test]

@@ -148,6 +148,42 @@ pub fn wrap(
     g_reduced: &Matrix,
     selection: &Selection,
 ) -> SelectedInverse {
+    let seed = |k0: usize, l0: usize| clustered.reduced.dense_block(g_reduced, k0, l0);
+    wrap_with(par, pc, clustered, &seed, selection)
+}
+
+/// [`wrap`] fed from a sparse [`SelectedInverse`] of seed blocks (the
+/// output of [`crate::bsofi_selected`]) instead of the dense `Ḡ` — the
+/// S1/S2 fast path, which never materializes the `bN × bN` inverse.
+///
+/// # Panics
+/// Panics if a seed block the pattern's walks start from is missing
+/// (diagonal seeds `Ḡ(k₀,k₀)` for S1/S2; all `b²` blocks for S3/S4).
+pub fn wrap_selected(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    seeds: &SelectedInverse,
+    selection: &Selection,
+) -> SelectedInverse {
+    let seed = |k0: usize, l0: usize| {
+        seeds
+            .get(k0, l0)
+            .unwrap_or_else(|| panic!("seed block ({k0},{l0}) missing from selected inverse"))
+            .clone()
+    };
+    wrap_with(par, pc, clustered, &seed, selection)
+}
+
+/// Shared wrap engine: the seed closure abstracts over where the reduced
+/// inverse blocks come from (dense `Ḡ` vs sparse selected assembly).
+fn wrap_with(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    seed: &(dyn Fn(usize, usize) -> Matrix + Sync),
+    selection: &Selection,
+) -> SelectedInverse {
     assert_eq!(
         selection.c, clustered.c,
         "selection and clustering disagree on c"
@@ -159,7 +195,6 @@ pub fn wrap(
     let b = clustered.b();
     let c = clustered.c;
     let factors = BlockFactors::new(pc);
-    let seed = |k0: usize, l0: usize| clustered.reduced.dense_block(g_reduced, k0, l0);
 
     match selection.pattern {
         Pattern::Diagonal => {
@@ -257,13 +292,43 @@ pub fn wrap_all_diagonals(
     clustered: &Clustered,
     g_reduced: &Matrix,
 ) -> SelectedInverse {
+    let seed = |k0: usize| clustered.reduced.dense_block(g_reduced, k0, k0);
+    wrap_all_diagonals_with(par, pc, clustered, &seed)
+}
+
+/// [`wrap_all_diagonals`] fed from sparse diagonal seeds (the output of
+/// [`crate::bsofi_selected`] with [`crate::SelectedPattern::Diagonals`]).
+///
+/// # Panics
+/// Panics if a diagonal seed `Ḡ(k₀,k₀)` is missing.
+pub fn wrap_all_diagonals_selected(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    seeds: &SelectedInverse,
+) -> SelectedInverse {
+    let seed = |k0: usize| {
+        seeds
+            .get(k0, k0)
+            .unwrap_or_else(|| panic!("diagonal seed ({k0},{k0}) missing from selected inverse"))
+            .clone()
+    };
+    wrap_all_diagonals_with(par, pc, clustered, &seed)
+}
+
+fn wrap_all_diagonals_with(
+    par: Par<'_>,
+    pc: &BlockPCyclic,
+    clustered: &Clustered,
+    seed: &(dyn Fn(usize) -> Matrix + Sync),
+) -> SelectedInverse {
     let b = clustered.b();
     let c = clustered.c;
     let factors = BlockFactors::new(pc);
     let results = fsi_runtime::parallel_map(par, b, Schedule::Dynamic(1), |k0| {
         let mut produced = Vec::with_capacity(c);
         let k = clustered.to_original(k0);
-        let mut cur = clustered.reduced.dense_block(g_reduced, k0, k0);
+        let mut cur = seed(k0);
         produced.push((k, cur.clone()));
         let mut row = k;
         for _ in 0..c - 1 {
@@ -441,6 +506,47 @@ mod tests {
                 assert!(err < 1e-7, "L={l} c={c} q={q} k={k}: {err}");
             }
         }
+    }
+
+    #[test]
+    fn selected_seeds_match_dense_seeds() {
+        use crate::patterns::SelectedPattern;
+        let pc = random_pcyclic(3, 8, 31);
+        let clustered = cls(Par::Seq, Par::Seq, &pc, 4, 1);
+        let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
+        let seeds = crate::bsofi::bsofi_selected(
+            Par::Seq,
+            Par::Seq,
+            &clustered.reduced,
+            &SelectedPattern::Diagonals,
+        );
+        for pattern in [Pattern::Diagonal, Pattern::SubDiagonal] {
+            let sel = Selection::new(pattern, 4, 1);
+            let dense = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
+            let sparse = wrap_selected(Par::Seq, &pc, &clustered, &seeds, &sel);
+            assert_eq!(dense.len(), sparse.len(), "{pattern:?}");
+            for (coord, blk) in dense.iter() {
+                let other = sparse.get(coord.0, coord.1).expect("same coords");
+                assert!(rel_error(blk, other) < 1e-12, "{pattern:?} {coord:?}");
+            }
+        }
+        let dense_d = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red);
+        let sparse_d = wrap_all_diagonals_selected(Par::Seq, &pc, &clustered, &seeds);
+        assert_eq!(dense_d.len(), sparse_d.len());
+        for (coord, blk) in dense_d.iter() {
+            let other = sparse_d.get(coord.0, coord.1).expect("same coords");
+            assert!(rel_error(blk, other) < 1e-12, "diag {coord:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing from selected inverse")]
+    fn selected_wrap_panics_on_missing_seed() {
+        let pc = random_pcyclic(2, 8, 32);
+        let clustered = cls(Par::Seq, Par::Seq, &pc, 4, 0);
+        let empty = SelectedInverse::new();
+        let sel = Selection::new(Pattern::Diagonal, 4, 0);
+        let _ = wrap_selected(Par::Seq, &pc, &clustered, &empty, &sel);
     }
 
     #[test]

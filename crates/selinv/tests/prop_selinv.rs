@@ -1,9 +1,9 @@
 //! Property-based tests of the selected-inversion layer: the tridiagonal
 //! extension, BSOFI's factor structure, and the stability policy.
 
-use fsi_runtime::Par;
+use fsi_runtime::{Par, ThreadPool};
 use fsi_selinv::tridiag::{random_tridiagonal, TridiagFactor};
-use fsi_selinv::{max_stable_cluster, StructuredQr};
+use fsi_selinv::{bsofi, bsofi_selected, max_stable_cluster, SelectedPattern, StructuredQr};
 use proptest::prelude::*;
 
 proptest! {
@@ -62,6 +62,49 @@ proptest! {
                 prop_assert!(blk.max_abs() < 1e-10, "({i},{j}) not eliminated");
             }
         }
+    }
+
+    /// Selected assembly equals the dense inverse restricted to the
+    /// pattern, for every pattern shape and arbitrary p-cyclic matrices.
+    #[test]
+    fn bsofi_selected_matches_dense_restricted(
+        n in 2usize..4,
+        b in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let pc = fsi_pcyclic::random_pcyclic(n, b, seed);
+        let dense = bsofi(Par::Seq, Par::Seq, &pc);
+        let mut patterns = vec![SelectedPattern::Diagonals, SelectedPattern::Full];
+        patterns.push(SelectedPattern::DiagonalBlock(seed as usize % b));
+        for pattern in patterns {
+            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+            let coords = pattern.coordinates(b);
+            prop_assert_eq!(sel.len(), coords.len());
+            for (k, l) in coords {
+                let got = sel.get(k, l).expect("requested block");
+                let want = pc.dense_block(&dense, k, l);
+                let err = fsi_dense::rel_error(got, &want);
+                prop_assert!(err < 1e-13, "(n={n}, b={b}) {pattern:?} ({k},{l}): {err}");
+            }
+        }
+    }
+
+    /// The look-ahead pipelined factor is bitwise identical to the serial
+    /// schedule: every kernel call sees the same inputs either way.
+    #[test]
+    fn lookahead_factor_bitwise_equals_serial(
+        n in 2usize..4,
+        b in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let pool = ThreadPool::new(3);
+        let pc = fsi_pcyclic::random_pcyclic(n, b, seed);
+        let serial = StructuredQr::factor(Par::Seq, &pc);
+        let look = StructuredQr::factor_lookahead(Par::Pool(&pool), Par::Seq, &pc);
+        prop_assert_eq!(serial.assemble_r().as_slice(), look.assemble_r().as_slice());
+        let gs = serial.inverse(Par::Seq, Par::Seq);
+        let gl = look.inverse(Par::Seq, Par::Seq);
+        prop_assert_eq!(gs.as_slice(), gl.as_slice());
     }
 
     /// The stability cap is monotone: tighter tolerance or a worse growth

@@ -92,6 +92,39 @@ fn stage_walls_sum_to_driver_and_stage_flops_match_model() {
 }
 
 #[test]
+fn selected_bsofi_span_flops_match_the_exact_model() {
+    let _lock = trace::test_lock();
+    trace::set_level(TraceLevel::Stages);
+    let (n, l, c) = (16usize, 24usize, 6usize);
+    let b = l / c;
+    let pc = test_matrix();
+    trace::clear();
+    // A diagonal selection routes BSOFI through the selected-assembly path.
+    let sel = Selection::new(Pattern::Diagonal, c, c / 2);
+    let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    let report = RunReport::capture("selected-bsofi-observability");
+    trace::set_level(TraceLevel::Off);
+    trace::clear();
+
+    // The selected span's inclusive flops equal the kernel-exact model to
+    // the flop, and the factor sub-span equals the structured-QR model.
+    let pattern = fsi::selinv::SelectedPattern::Diagonals;
+    assert_eq!(
+        report.flops_of("bsofi.selected"),
+        fsi::selinv::bsofi_selected_flops(n, b, &pattern)
+    );
+    assert_eq!(
+        report.flops_of("bsofi.lookahead"),
+        fsi::selinv::structured_qr_flops(n, b)
+    );
+    // Everything the bsofi stage charges flows through the selected span.
+    assert_eq!(report.flops_of("bsofi"), report.flops_of("bsofi.selected"));
+    // S1 wraps are free (the seeds ARE the selection) — the saving that
+    // motivates the pattern-aware path.
+    assert_eq!(report.flops_of("wrap"), 0);
+}
+
+#[test]
 fn sweep_spans_fire_and_cache_flops_match_the_incremental_model() {
     let _lock = trace::test_lock();
     let (n, l, c) = (4usize, 8usize, 4usize);
