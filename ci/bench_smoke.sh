@@ -53,6 +53,16 @@ echo "== bench_smoke =="
 echo "== bench_sweep =="
 ./target/release/bench_sweep ${LABEL_ARG:+"$LABEL_ARG"} "--out=$SWEEP_OUT"
 
+# The fault drill's smoke lane arms one injection site per probe family
+# against the DQMC workload and asserts detection + recovery + trajectory
+# preservation — these are structural properties, so the drill gates (only
+# its probe-overhead number is informational).
+echo "== fault_drill --smoke =="
+cargo build --offline --release -p fsi-bench --bin fault_drill \
+  --features fault-inject
+./target/release/fault_drill --smoke ${LABEL_ARG:+"$LABEL_ARG"} \
+  --out=results/BENCH_fault_drill.json
+
 # bench_bsofi asserts a >=1.5x selected-vs-dense wall-time win, which is a
 # *timing* property — informative, but a slow/noisy machine must not fail
 # the smoke gate, so it is tolerated here (its flop-attribution and bitwise

@@ -31,6 +31,15 @@ if [[ $quick -eq 0 ]]; then
   echo "== cargo test --doc =="
   cargo test --offline --workspace --doc -q
 
+  echo "== cargo test --features fault-inject =="
+  cargo test --offline --workspace -q --features fault-inject
+
+  # The checked profile keeps release optimization but turns debug
+  # assertions and overflow checks back on — numeric guardrail bugs that
+  # only trip under assertions surface here.
+  echo "== cargo test --profile checked (fault-inject) =="
+  cargo test --offline --workspace -q --profile checked --features fault-inject
+
   # Non-gating: record kernel throughput (results/BENCH_kernels.json is
   # informational; timing noise must never fail the gate).
   echo "== bench smoke (non-gating) =="

@@ -61,7 +61,7 @@ fn main() {
         let sel = Selection::new(Pattern::Columns, c, c / 2);
         let span = trace::span("fsi-run");
         let sw = Stopwatch::start();
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let secs = sw.seconds();
         let gflop = span.finish().flops as f64 / 1e9;
         let reference = full_inverse_selected(Par::Seq, &pc, &sel);

@@ -52,12 +52,15 @@ fn main() {
             delay,
             ..SweepConfig::default()
         };
-        let mut sweeper = Sweeper::new(&builder, field.clone(), cfg);
+        let mut sweeper = Sweeper::new(&builder, field.clone(), cfg).expect("healthy");
         let mut rng = ChaCha8Rng::seed_from_u64(99);
         let sw = Stopwatch::start();
         let mut accepted = 0;
         for _ in 0..sweeps {
-            accepted += sweeper.sweep(&mut rng, Parallelism::Serial).accepted;
+            accepted += sweeper
+                .sweep(&mut rng, Parallelism::Serial)
+                .expect("healthy")
+                .accepted;
         }
         let secs = sw.seconds();
         let traj = sweeper.field().to_flat();

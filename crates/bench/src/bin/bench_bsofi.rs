@@ -144,21 +144,21 @@ fn main() {
             let _ = bsofi(Par::Seq, Par::Seq, reduced);
         },
         || {
-            let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &diags);
+            let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &diags).expect("healthy");
         },
     );
     let r_full = record("bsofi_full", t_full, || {
         let _ = bsofi(Par::Seq, Par::Seq, reduced);
     });
     let r_diags = record("bsofi_selected_diagonals", t_diags, || {
-        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &diags);
+        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &diags).expect("healthy");
     });
     let block = SelectedPattern::DiagonalBlock(b / 2);
     let t_block = time_best(|| {
-        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &block);
+        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &block).expect("healthy");
     });
     let r_block = record("bsofi_selected_block", t_block, || {
-        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &block);
+        let _ = bsofi_selected(Par::Seq, Par::Seq, reduced, &block).expect("healthy");
     });
     for r in [&r_full, &r_diags, &r_block] {
         print_record(r);

@@ -140,7 +140,7 @@ fn main() {
     let sel = Selection::new(Pattern::Columns, c, 5.min(c - 1));
     trace::set_level(fsi_runtime::TraceLevel::Stages);
     trace::clear();
-    let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    let _ = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
     let report = trace::RunReport::capture("bench_smoke");
     trace::set_level(fsi_runtime::TraceLevel::Off);
     trace::clear();

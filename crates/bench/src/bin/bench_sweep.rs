@@ -121,7 +121,7 @@ fn main() {
     // --- Wrap strategies: one spin-channel similarity wrap at slice 0.
     // The wrapped matrix keeps getting re-wrapped between reps; the cost
     // per wrap does not depend on its values.
-    let sweeper = Sweeper::new(&dense_builder, field.clone(), cfg);
+    let sweeper = Sweeper::new(&dense_builder, field.clone(), cfg).expect("healthy");
     let mut g = sweeper.green(Spin::Up).clone();
     let r_dense = record("wrap_dense", n, || {
         wrap_dense(
@@ -144,7 +144,7 @@ fn main() {
             &mut g,
         );
     });
-    let cb_sweeper = Sweeper::new(&cb_builder, field.clone(), cfg);
+    let cb_sweeper = Sweeper::new(&cb_builder, field.clone(), cfg).expect("healthy");
     let mut g = cb_sweeper.green(Spin::Up).clone();
     let r_cb = record("wrap_factored_cb", n, || {
         wrap_factored(
@@ -181,13 +181,14 @@ fn main() {
             incremental: false,
             ..cfg
         },
-    );
+    )
+    .expect("healthy");
     let r_full = record("refresh_full", n, || {
-        full.refresh(0, Parallelism::Serial);
+        full.refresh(0, Parallelism::Serial).expect("healthy");
     });
-    let mut warm = Sweeper::new(&dense_builder, field.clone(), cfg);
+    let mut warm = Sweeper::new(&dense_builder, field.clone(), cfg).expect("healthy");
     let r_warm = record("refresh_warm", n, || {
-        warm.refresh(0, Parallelism::Serial);
+        warm.refresh(0, Parallelism::Serial).expect("healthy");
     });
     let (warm_hits, warm_misses) = warm.cluster_cache_stats();
     drop(full);
@@ -198,12 +199,13 @@ fn main() {
     // --- Cache effectiveness across a real sweep: hits must fire and warm
     // refreshes must rebuild strictly fewer than the b = L/c products per
     // spin a cold build pays.
-    let mut s = Sweeper::new(&dense_builder, field.clone(), cfg);
+    let mut s = Sweeper::new(&dense_builder, field.clone(), cfg).expect("healthy");
     let (h0, m0) = s.cluster_cache_stats();
     let cold_products = 2 * (l / c) as u64; // both spins
     assert_eq!(m0, cold_products, "cold build rebuilds every product");
     let mut sweep_rng = ChaCha8Rng::seed_from_u64(7);
-    s.sweep(&mut sweep_rng, Parallelism::Serial);
+    s.sweep(&mut sweep_rng, Parallelism::Serial)
+        .expect("healthy");
     let (h1, m1) = s.cluster_cache_stats();
     let refreshes = (m1 + h1 - m0 - h0) / cold_products;
     assert!(
@@ -226,9 +228,9 @@ fn main() {
     // trajectories (order-preserving join + deterministic kernels), so the
     // ratio is a pure parallelization measurement.
     let sweep_once = |par: Parallelism<'_>| {
-        let mut s = Sweeper::new(&dense_builder, field.clone(), cfg);
+        let mut s = Sweeper::new(&dense_builder, field.clone(), cfg).expect("healthy");
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        s.sweep(&mut rng, par);
+        s.sweep(&mut rng, par).expect("healthy");
     };
     let r_serial = record("sweep_serial", n, || sweep_once(Parallelism::Serial));
     let pool = ThreadPool::new(threads.max(2));

@@ -58,7 +58,7 @@ fn main() {
         let mut selections: Vec<SelectedInverse> = Vec::new();
         for spin in Spin::BOTH {
             let pc = hubbard_pcyclic(&builder, &field, spin);
-            let (merged, _diags) = fsi_measurement_set(par, &pc, c, q);
+            let (merged, _diags) = fsi_measurement_set(par, &pc, c, q).expect("healthy");
             selections.push(merged);
         }
         let green_secs = sw.seconds();

@@ -49,7 +49,7 @@ fn main() {
     );
 
     // Reference serial run with phase decomposition.
-    let serial = run(&cfg, Parallelism::Serial);
+    let serial = run(&cfg, Parallelism::Serial).expect("healthy");
     let sweep_s = serial.profile.seconds("sweep");
     let green_s = serial.profile.seconds("green");
     let meas_s = serial.profile.seconds("measurement");
@@ -63,8 +63,8 @@ fn main() {
     let b = (l / c) as f64;
     for &t in &thread_list {
         let pool = ThreadPool::new(t);
-        let omp = run(&cfg, Parallelism::OpenMp(&pool));
-        let mkl = run(&cfg, Parallelism::MklStyle(&pool));
+        let omp = run(&cfg, Parallelism::OpenMp(&pool)).expect("healthy");
+        let mkl = run(&cfg, Parallelism::MklStyle(&pool)).expect("healthy");
         let omp_total = omp.profile.total_seconds();
         let mkl_total = mkl.profile.total_seconds();
 

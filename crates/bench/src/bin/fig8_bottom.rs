@@ -48,10 +48,10 @@ fn main() {
     for t in 1..=max_threads {
         let pool = ThreadPool::new(t);
         let sw = Stopwatch::start();
-        let _ = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel);
+        let _ = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel).expect("healthy");
         let omp_measured = sw.seconds();
         let sw = Stopwatch::start();
-        let _ = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel);
+        let _ = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel).expect("healthy");
         let mkl_measured = sw.seconds();
 
         let omp_sim = traces.openmp.speedup(t);

@@ -76,7 +76,9 @@ fn main() {
 
         // Whole-pipeline rate (the driver opens its own "fsi" span; this
         // outer one just scopes the rate measurement).
-        let (_, fsi_rate) = stage_rate("fsi-total", || fsi_with_q(Parallelism::Serial, &pc, &sel));
+        let (_, fsi_rate) = stage_rate("fsi-total", || {
+            fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy")
+        });
 
         // DGEMM reference: N×N product repeated to ≥ the FSI volume.
         let a = fsi_dense::test_matrix(n, n, 1);

@@ -60,7 +60,7 @@ fn main() {
         // The span context propagates into the rank threads, so the
         // span's flop total covers all ranks of this split.
         let span = fsi_runtime::trace::span("multi");
-        let r = run_multi(&builder, &cfg, &trace_measure);
+        let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
         let stats = span.finish();
         let rate = stats.flops as f64 / r.seconds / 1e9;
         println!(

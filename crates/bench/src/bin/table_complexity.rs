@@ -49,7 +49,7 @@ fn main() {
         let _ = explicit_selected(fsi_runtime::Par::Seq, &pc, &sel);
         let expl_measured = span.finish().flops;
         let span = trace::span("fsi-run");
-        let _ = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let _ = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let fsi_measured = span.finish().flops;
         println!(
             "{:<20} {:>14} {:>14} {:>14} {:>14}",

@@ -46,7 +46,7 @@ fn main() {
     );
     for p in Pattern::ALL {
         let sel = Selection::new(p, small_c, 1);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let measured_reduction = full_bytes as f64 / out.selected.bytes() as f64;
         println!(
             "  {:<20} {:>10.2} KiB   measured reduction {:>8.1}x  (formula {}x)",

@@ -97,7 +97,7 @@ fn main() {
     let sel = Selection::new(Pattern::Columns, c, q);
 
     let sw = Stopwatch::start();
-    let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
     println!("FSI: {} blocks in {:.3}s", out.selected.len(), sw.seconds());
 
     let sw = Stopwatch::start();

@@ -20,19 +20,68 @@ use crate::matrix::Matrix;
 /// ≤ 5 steps; the cap guards pathological cycling).
 pub const MAX_ITERS: usize = 8;
 
+/// Outcome of one Hager estimation run: the estimate plus convergence
+/// diagnostics, so callers (the health layer in particular) can distrust
+/// a value produced by hitting the iteration cap instead of the
+/// sign-vector fixed point.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Norm1Estimate {
+    /// The `‖A⁻¹‖₁` lower-bound estimate.
+    pub est: f64,
+    /// Power-iteration steps actually performed.
+    pub iterations: usize,
+    /// Whether the iteration reached its fixed point (`false` means the
+    /// [`MAX_ITERS`] cap fired and the estimate may be loose).
+    pub converged: bool,
+}
+
+impl Norm1Estimate {
+    /// The estimate as a [`crate::error::Result`]: a capped run surfaces
+    /// [`DenseError::NoConvergence`](crate::DenseError::NoConvergence)
+    /// with the iteration count instead of silently returning the best
+    /// value seen.
+    pub fn checked(&self) -> crate::error::Result<f64> {
+        if self.converged {
+            Ok(self.est)
+        } else {
+            Err(crate::DenseError::NoConvergence {
+                iterations: self.iterations,
+            })
+        }
+    }
+}
+
 /// Estimates `‖A⁻¹‖₁` from an LU factorization, without forming the
 /// inverse. The estimate is a lower bound that in practice lands within
 /// a small factor of the truth.
+///
+/// Convenience wrapper over [`norm1_inv_estimate_detailed`] that keeps
+/// the historical `f64` signature (capped runs still return the best
+/// estimate seen).
 pub fn norm1_inv_estimate(f: &LuFactor) -> f64 {
+    norm1_inv_estimate_detailed(f).est
+}
+
+/// [`norm1_inv_estimate`] with convergence diagnostics: reports how many
+/// power-iteration steps ran and whether the sign-vector fixed point was
+/// reached before the [`MAX_ITERS`] cap.
+pub fn norm1_inv_estimate_detailed(f: &LuFactor) -> Norm1Estimate {
     let n = f.n();
     if n == 0 {
-        return 0.0;
+        return Norm1Estimate {
+            est: 0.0,
+            iterations: 0,
+            converged: true,
+        };
     }
     // Start from the uniform vector.
     let mut x = Matrix::from_fn(n, 1, |_, _| 1.0 / n as f64);
     let mut best = 0.0f64;
     let mut last_sign: Vec<f64> = Vec::new();
+    let mut iterations = 0usize;
+    let mut converged = false;
     for _ in 0..MAX_ITERS {
+        iterations += 1;
         // y = A⁻¹ x.
         f.solve_in_place(x.as_mut());
         let est: f64 = x.as_slice().iter().map(|v| v.abs()).sum();
@@ -44,6 +93,7 @@ pub fn norm1_inv_estimate(f: &LuFactor) -> f64 {
             .map(|&v| if v >= 0.0 { 1.0 } else { -1.0 })
             .collect();
         if sign == last_sign {
+            converged = true;
             break;
         }
         last_sign = sign.clone();
@@ -54,12 +104,17 @@ pub fn norm1_inv_estimate(f: &LuFactor) -> f64 {
         let j = crate::blas::iamax(z.as_slice());
         if z.as_slice()[j].abs() <= z.as_slice().iter().map(|v| v.abs()).sum::<f64>() / n as f64 {
             // Flat dual vector → converged.
+            converged = true;
             break;
         }
         x = Matrix::zeros(n, 1);
         x[(j, 0)] = 1.0;
     }
-    best
+    Norm1Estimate {
+        est: best,
+        iterations,
+        converged,
+    }
 }
 
 /// Estimated one-norm condition number `κ₁(A) ≈ ‖A‖₁·est(‖A⁻¹‖₁)` from a
@@ -110,6 +165,34 @@ mod tests {
         let f = getrf(d.clone()).unwrap();
         let est = cond1_estimate(&d, &f);
         assert!(est > 1e7, "should flag the 1e8 condition: {est}");
+    }
+
+    #[test]
+    fn detailed_estimate_reports_convergence() {
+        let mut a = test_matrix(16, 16, 3);
+        a.add_diag(2.0);
+        let f = getrf(a).unwrap();
+        let d = norm1_inv_estimate_detailed(&f);
+        assert!(d.converged, "benign matrix converges");
+        assert!(d.iterations >= 1 && d.iterations <= MAX_ITERS);
+        assert_eq!(
+            d.est,
+            norm1_inv_estimate(&f),
+            "wrapper forwards the estimate"
+        );
+        assert_eq!(d.checked(), Ok(d.est));
+        // A capped (synthetic) run surfaces NoConvergence.
+        let capped = Norm1Estimate {
+            est: 1.0,
+            iterations: MAX_ITERS,
+            converged: false,
+        };
+        assert_eq!(
+            capped.checked(),
+            Err(crate::DenseError::NoConvergence {
+                iterations: MAX_ITERS
+            })
+        );
     }
 
     #[test]

@@ -6,6 +6,8 @@
 
 use std::fmt;
 
+use fsi_runtime::health::{FsiError, HealthEvent, Stage};
+
 /// Result alias for dense operations.
 pub type Result<T> = std::result::Result<T, DenseError>;
 
@@ -23,6 +25,26 @@ pub enum DenseError {
         /// Number of iterations performed before giving up.
         iterations: usize,
     },
+}
+
+impl DenseError {
+    /// Lifts a dense failure into the pipeline-level [`FsiError`],
+    /// attributing it to the stage whose kernel call failed. Singular
+    /// pivots become [`HealthEvent::SingularPivot`] (recorded as a
+    /// `health.*` trace span); iteration-cap failures map to
+    /// [`FsiError::NoConvergence`].
+    pub fn at(self, stage: Stage) -> FsiError {
+        match self {
+            DenseError::Singular { column } => {
+                let event = HealthEvent::SingularPivot { stage, column };
+                event.record();
+                FsiError::Health(event)
+            }
+            DenseError::NoConvergence { iterations } => {
+                FsiError::NoConvergence { stage, iterations }
+            }
+        }
+    }
 }
 
 impl fmt::Display for DenseError {

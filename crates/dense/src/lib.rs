@@ -40,7 +40,7 @@ pub mod norms;
 pub mod qr;
 pub mod tri;
 
-pub use cond::{cond1_estimate, norm1_inv_estimate};
+pub use cond::{cond1_estimate, norm1_inv_estimate, norm1_inv_estimate_detailed, Norm1Estimate};
 pub use error::{DenseError, Result};
 pub use expm::{expm, expm_diag, expm_par, scale_cols_exp, scale_rows_exp};
 pub use gemm::{chain_mul, gemm, gemm_op, mul, mul_par, test_matrix, Op};

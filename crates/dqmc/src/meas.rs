@@ -540,12 +540,14 @@ mod tests {
                 Parallelism::Serial,
                 &pc,
                 &Selection::new(Pattern::Rows, c, q),
-            );
+            )
+            .expect("healthy");
             let cols = fsi_with_q(
                 Parallelism::Serial,
                 &pc,
                 &Selection::new(Pattern::Columns, c, q),
-            );
+            )
+            .expect("healthy");
             let mut merged = rows.selected;
             merged.merge(cols.selected);
             sels.push(merged);
@@ -588,12 +590,14 @@ mod tests {
                 Parallelism::Serial,
                 &pc,
                 &Selection::new(Pattern::Rows, 4, 0),
-            );
+            )
+            .expect("healthy");
             let cols = fsi_with_q(
                 Parallelism::Serial,
                 &pc,
                 &Selection::new(Pattern::Columns, 4, 0),
-            );
+            )
+            .expect("healthy");
             let mut merged = rows.selected;
             merged.merge(cols.selected);
             sels.push(merged);

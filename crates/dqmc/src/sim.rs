@@ -17,6 +17,7 @@
 //! plot.
 
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, HubbardParams, Spin, SquareLattice};
+use fsi_runtime::health::FsiResult;
 use fsi_runtime::{Profile, Stopwatch};
 use fsi_selinv::fsi::fsi_measurement_set;
 use fsi_selinv::{Parallelism, SelectedInverse};
@@ -122,11 +123,17 @@ pub struct DqmcResults {
 /// use fsi_selinv::Parallelism;
 /// let mut cfg = DqmcConfig::small();
 /// cfg.measurements = 2;
-/// let results = run(&cfg, Parallelism::Serial);
+/// let results = run(&cfg, Parallelism::Serial).expect("healthy run");
 /// // Half filling by particle-hole symmetry.
 /// assert!((results.density.mean() - 1.0).abs() < 0.2);
 /// ```
-pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
+///
+/// # Errors
+/// Surfaces any [`fsi_runtime::health`] event that survived the sweep
+/// driver's recovery ladder (see [`crate::sweep::RecoveryStats`]), and any
+/// probe trip inside the measurement-set inversions, which run outside the
+/// ladder.
+pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> FsiResult<DqmcResults> {
     let _dqmc_span = fsi_runtime::trace::span("dqmc");
     let lattice = SquareLattice::new(cfg.nx, cfg.ny);
     let builder = BlockBuilder::new(lattice.clone(), cfg.params());
@@ -138,7 +145,7 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
         delay: cfg.delay,
         ..SweepConfig::default()
     };
-    let mut sweeper = Sweeper::new(&builder, field, sweep_cfg);
+    let mut sweeper = Sweeper::new(&builder, field, sweep_cfg)?;
     let mut results = DqmcResults {
         density: Accumulator::new(),
         double_occupancy: Accumulator::new(),
@@ -156,7 +163,7 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
     for _ in 0..cfg.warmup {
         let stats = results
             .profile
-            .time("sweep", || sweeper.sweep(&mut rng, par));
+            .time("sweep", || sweeper.sweep(&mut rng, par))?;
         results.acceptance.push(stats.acceptance());
     }
 
@@ -165,23 +172,23 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
     for _ in 0..cfg.measurements {
         let stats = results
             .profile
-            .time("sweep", || sweeper.sweep(&mut rng, par));
+            .time("sweep", || sweeper.sweep(&mut rng, par))?;
         results.acceptance.push(stats.acceptance());
 
         // Green's functions: all diagonals + b rows + b cols, both spins,
         // sharing one clustering/BSOFI per spin (paper §V-C's selection).
         let q = rng.gen_range(0..cfg.c);
-        let (selections, diag_blocks) = results.profile.time("green", || {
+        let (selections, diag_blocks) = results.profile.time("green", || -> FsiResult<_> {
             let mut selections: Vec<SelectedInverse> = Vec::with_capacity(2);
             let mut diag_blocks: Vec<SelectedInverse> = Vec::with_capacity(2);
             for spin in Spin::BOTH {
                 let pc = hubbard_pcyclic(&builder, sweeper.field(), spin);
-                let (merged, diags) = fsi_measurement_set(par, &pc, cfg.c, q);
+                let (merged, diags) = fsi_measurement_set(par, &pc, cfg.c, q)?;
                 diag_blocks.push(diags);
                 selections.push(merged);
             }
-            (selections, diag_blocks)
-        });
+            Ok((selections, diag_blocks))
+        })?;
 
         // Physical measurements.
         let sw = Stopwatch::start();
@@ -240,7 +247,7 @@ pub fn run(cfg: &DqmcConfig, par: Parallelism<'_>) -> DqmcResults {
             t.scale(1.0 / cfg.measurements as f64);
         }
     }
-    results
+    Ok(results)
 }
 
 #[cfg(test)]
@@ -251,7 +258,7 @@ mod tests {
     #[test]
     fn small_simulation_runs_and_is_sane() {
         let cfg = DqmcConfig::small();
-        let r = run(&cfg, Parallelism::Serial);
+        let r = run(&cfg, Parallelism::Serial).expect("healthy");
         assert_eq!(r.density.count(), cfg.measurements as u64);
         // Half filling: total density ≈ 1 (loose MC tolerance, tiny run).
         assert!(
@@ -289,8 +296,8 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let cfg = DqmcConfig::small();
-        let a = run(&cfg, Parallelism::Serial);
-        let b = run(&cfg, Parallelism::Serial);
+        let a = run(&cfg, Parallelism::Serial).expect("healthy");
+        let b = run(&cfg, Parallelism::Serial).expect("healthy");
         assert_eq!(a.density.mean(), b.density.mean());
         assert_eq!(a.kinetic.mean(), b.kinetic.mean());
     }
@@ -302,9 +309,9 @@ mod tests {
             warmup: 1,
             ..DqmcConfig::small()
         };
-        let serial = run(&cfg, Parallelism::Serial);
+        let serial = run(&cfg, Parallelism::Serial).expect("healthy");
         let pool = ThreadPool::new(3);
-        let omp = run(&cfg, Parallelism::OpenMp(&pool));
+        let omp = run(&cfg, Parallelism::OpenMp(&pool)).expect("healthy");
         // The Monte Carlo trajectory is identical (same seed, same
         // arithmetic); only scheduling differs.
         assert!(
@@ -313,7 +320,7 @@ mod tests {
             serial.density.mean(),
             omp.density.mean()
         );
-        let mkl = run(&cfg, Parallelism::MklStyle(&pool));
+        let mkl = run(&cfg, Parallelism::MklStyle(&pool)).expect("healthy");
         assert!((serial.density.mean() - mkl.density.mean()).abs() < 1e-9);
     }
 
@@ -327,14 +334,15 @@ mod tests {
             measurements: 6,
             ..DqmcConfig::small()
         };
-        let weak = run(&base, Parallelism::Serial);
+        let weak = run(&base, Parallelism::Serial).expect("healthy");
         let strong = run(
             &DqmcConfig {
                 u: 6.0,
                 ..base.clone()
             },
             Parallelism::Serial,
-        );
+        )
+        .expect("healthy");
         assert!(
             strong.moment.mean() > weak.moment.mean(),
             "m²(U=6) = {} should exceed m²(U=0.5) = {}",

@@ -17,6 +17,7 @@
 
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::health::{self, FsiResult, Stage};
 use fsi_runtime::Par;
 use fsi_selinv::{bsofi_selected, cls, ClusterCache, SelectedPattern};
 
@@ -26,21 +27,30 @@ use fsi_selinv::{bsofi_selected, cls, ClusterCache, SelectedPattern};
 /// (`k ≡ c−1−q (mod c)`), making the requested block directly available
 /// in the reduced inverse.
 ///
+/// # Errors
+/// Surfaces the [`fsi_runtime::health`] probe events of every stage it
+/// drives: bad cluster products ([`Stage::Cls`]), a singular/graded `R`
+/// diagonal ([`Stage::Bsofi`]), and a non-finite assembled Green's
+/// function ([`Stage::Green`]).
+///
 /// # Panics
-/// Panics unless `c` divides `L`.
+/// Panics unless `c` divides `L` (a dimension contract, not data).
 pub fn equal_time_green_stable(
     par_outer: Par<'_>,
     par_inner: Par<'_>,
     pc: &BlockPCyclic,
     k: usize,
     c: usize,
-) -> Matrix {
+) -> FsiResult<Matrix> {
     let l = pc.l();
     assert!(l.is_multiple_of(c), "cluster size must divide L");
     assert!(k < l, "slice index out of range");
     let o = k % c;
     let q = c - 1 - o;
     let clustered = cls(par_outer, par_inner, pc, c, q);
+    for m in 0..clustered.b() {
+        health::check_block(Stage::Cls, m, clustered.reduced.block(m).as_slice())?;
+    }
     let k0 = clustered
         .to_reduced(k)
         .expect("k is a seed row by construction");
@@ -51,8 +61,9 @@ pub fn equal_time_green_stable(
         par_inner,
         &clustered.reduced,
         &SelectedPattern::DiagonalBlock(k0),
-    );
-    sel.remove(k0, k0).expect("requested block assembled")
+    )?;
+    let g = sel.remove(k0, k0).expect("requested block assembled");
+    scan_green(k, g)
 }
 
 /// [`equal_time_green_stable`] with incremental clustering: the CLS stage
@@ -65,9 +76,16 @@ pub fn equal_time_green_stable(
 /// (DQMC: `c | stabilize_every`); a changed residue re-keys the cache and
 /// this call degenerates to a cold [`equal_time_green_stable`], bitwise.
 ///
+/// # Errors
+/// As [`equal_time_green_stable`], plus
+/// [`fsi_runtime::health::HealthEvent::CacheInconsistent`] when a reused
+/// cluster product fails its checksum. On any error the cache has already
+/// been invalidated (see [`fsi_selinv::ClusterCache::cls`]), so a retry
+/// is a clean cold build.
+///
 /// # Panics
 /// Panics unless `c` divides `L`, `k < L`, and
-/// `dirty.len() == blocks.len()`.
+/// `dirty.len() == blocks.len()` (dimension contracts, not data).
 pub fn equal_time_green_cached(
     par_outer: Par<'_>,
     par_inner: Par<'_>,
@@ -76,13 +94,13 @@ pub fn equal_time_green_cached(
     cache: &mut ClusterCache,
     k: usize,
     c: usize,
-) -> Matrix {
+) -> FsiResult<Matrix> {
     let l = blocks.len();
     assert!(l.is_multiple_of(c), "cluster size must divide L");
     assert!(k < l, "slice index out of range");
     let o = k % c;
     let q = c - 1 - o;
-    let (clustered, _rebuilt) = cache.cls(par_outer, par_inner, blocks, dirty, c, q);
+    let (clustered, _rebuilt) = cache.cls(par_outer, par_inner, blocks, dirty, c, q)?;
     let k0 = clustered
         .to_reduced(k)
         .expect("k is a seed row by construction");
@@ -91,8 +109,19 @@ pub fn equal_time_green_cached(
         par_inner,
         &clustered.reduced,
         &SelectedPattern::DiagonalBlock(k0),
-    );
-    sel.remove(k0, k0).expect("requested block assembled")
+    )?;
+    let g = sel.remove(k0, k0).expect("requested block assembled");
+    scan_green(k, g)
+}
+
+/// Final output probe (plus injection hook) of an assembled equal-time
+/// Green's function: the last gate before the block reaches the sweep.
+#[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+fn scan_green(k: usize, mut g: Matrix) -> FsiResult<Matrix> {
+    #[cfg(feature = "fault-inject")]
+    health::inject::poison(Stage::Green, k, g.as_mut_slice());
+    health::check_block(Stage::Green, k, g.as_slice())?;
+    Ok(g)
 }
 
 /// Naive `G(k, k) = (I + P(k))⁻¹` via the explicit product — loses
@@ -116,7 +145,7 @@ mod tests {
         let pc = random_pcyclic(3, 8, 50);
         let g_ref = pc.reference_green(Par::Seq);
         for k in 0..8 {
-            let got = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4);
+            let got = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4).expect("healthy");
             let want = pc.dense_block(&g_ref, k, k);
             assert!(rel_error(&got, &want) < 1e-9, "k={k}");
         }
@@ -130,7 +159,7 @@ mod tests {
         let field = HsField::random(8, 4, &mut rng);
         let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
         for k in [0usize, 3, 7] {
-            let stable = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4);
+            let stable = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4).expect("healthy");
             let naive = equal_time_green_naive(Par::Seq, &pc, k);
             assert!(rel_error(&stable, &naive) < 1e-9, "k={k}");
         }
@@ -157,8 +186,9 @@ mod tests {
             let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
             let k = 3; // fixed residue so the warm call can reuse products
             let got =
-                equal_time_green_cached(Par::Seq, Par::Seq, pc.blocks(), &dirty, &mut cache, k, 4);
-            let want = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4);
+                equal_time_green_cached(Par::Seq, Par::Seq, pc.blocks(), &dirty, &mut cache, k, 4)
+                    .expect("healthy");
+            let want = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, 4).expect("healthy");
             assert_eq!(got.as_slice(), want.as_slice(), "round {round} not bitwise");
         }
         assert!(cache.hits() > 0, "warm round must reuse clusters");
@@ -180,7 +210,7 @@ mod tests {
         let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
         let g_ref = pc.reference_green(Par::Seq);
         let want = pc.dense_block(&g_ref, 0, 0);
-        let stable = equal_time_green_stable(Par::Seq, Par::Seq, &pc, 0, 6);
+        let stable = equal_time_green_stable(Par::Seq, Par::Seq, &pc, 0, 6).expect("healthy");
         let naive = equal_time_green_naive(Par::Seq, &pc, 0);
         let err_stable = rel_error(&stable, &want);
         let err_naive = rel_error(&naive, &want);

@@ -44,11 +44,18 @@
 
 use fsi_dense::{blas, gemm_op, MatMut, MatRef, Matrix, Op};
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, BlockCache, HsField, Spin};
+use fsi_runtime::health::{self, FsiError, FsiResult, Stage};
 use fsi_runtime::{trace, workspace, Par};
-use fsi_selinv::{ClusterCache, Parallelism};
+use fsi_selinv::{auto_cluster_size, ClusterCache, Parallelism};
 use rand::Rng;
 
 use crate::stable::{equal_time_green_cached, equal_time_green_stable};
+
+/// Accuracy target handed to [`auto_cluster_size`] when the recovery
+/// ladder re-estimates the cluster size on suspect data — tighter than the
+/// usual 1e-8 so the shrunk `c` has margin against the very conditioning
+/// problem that tripped the probe.
+pub const RECOVERY_TOL: f64 = 1e-10;
 
 /// How the similarity wrap `Ĝ ← B·Ĝ·B⁻¹` applies the propagator.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -125,6 +132,43 @@ impl SweepStats {
     }
 }
 
+/// Record of the self-healing recovery ladder's activity.
+///
+/// Every health event that reached the sweep driver is logged (in order),
+/// together with how many times each escalation rung ran. The ladder is
+/// deterministic: a given fault history produces exactly this sequence.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryStats {
+    /// Rung 1 executions: invalidate both spins' block and cluster caches
+    /// and retry (`recovery.invalidate_caches`).
+    pub cache_invalidations: u64,
+    /// Rung 2 executions: shrink the cluster size `c` (halved, capped by
+    /// [`auto_cluster_size`] at [`RECOVERY_TOL`]) and retry
+    /// (`recovery.shrink_cluster`).
+    pub cluster_shrinks: u64,
+    /// Rung 3 executions: permanent fallback to [`WrapStrategy::Dense`]
+    /// (`recovery.dense_wrap`).
+    pub dense_fallbacks: u64,
+    /// Rung 4 executions: non-incremental, `c = 1` recomputation from
+    /// scratch (`recovery.from_scratch`).
+    pub from_scratch: u64,
+    /// Every error the driver saw, in arrival order (the first entry of
+    /// each burst is the original fault; later ones are retry failures).
+    pub events: Vec<FsiError>,
+}
+
+impl RecoveryStats {
+    /// Total escalation rungs executed.
+    pub fn escalations(&self) -> u64 {
+        self.cache_invalidations + self.cluster_shrinks + self.dense_fallbacks + self.from_scratch
+    }
+
+    /// Whether any recovery happened at all.
+    pub fn any(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
 /// The sweep engine: owns the HS field and the per-spin equal-time
 /// Green's functions of the current slice frame.
 pub struct Sweeper<'a> {
@@ -144,12 +188,19 @@ pub struct Sweeper<'a> {
     block_caches: [BlockCache; 2],
     /// Per-spin cluster-product caches (`[up, down]`).
     cluster_caches: [ClusterCache; 2],
+    /// Escalation-ladder bookkeeping.
+    recovery: RecoveryStats,
 }
 
 impl<'a> Sweeper<'a> {
     /// Creates a sweeper positioned at slice 0 (Green's functions
     /// computed from scratch).
-    pub fn new(builder: &'a BlockBuilder, field: HsField, cfg: SweepConfig) -> Self {
+    ///
+    /// # Errors
+    /// The initial refresh runs through the same recovery ladder as
+    /// mid-sweep stabilizations; an error here means even the rung-4
+    /// from-scratch recomputation failed (genuinely unusable input data).
+    pub fn new(builder: &'a BlockBuilder, field: HsField, cfg: SweepConfig) -> FsiResult<Self> {
         assert_eq!(
             field.slices(),
             builder.params().l,
@@ -172,9 +223,10 @@ impl<'a> Sweeper<'a> {
             dirty: vec![false; l],
             block_caches: [BlockCache::new(), BlockCache::new()],
             cluster_caches: [ClusterCache::new(), ClusterCache::new()],
+            recovery: RecoveryStats::default(),
         };
-        s.refresh(0, Parallelism::Serial);
-        s
+        s.refresh(0, Parallelism::Serial)?;
+        Ok(s)
     }
 
     /// The current HS field.
@@ -193,7 +245,8 @@ impl<'a> Sweeper<'a> {
         &self.g[spin_idx(spin)]
     }
 
-    /// Recomputes both spins' `Ĝ` from scratch for updating `slice`.
+    /// Recomputes both spins' `Ĝ` from scratch for updating `slice`,
+    /// running the self-healing recovery ladder on failure.
     ///
     /// `Ĝ(slice) = G(slice − 1)`: the cyclic product ends with
     /// `B_slice` as its innermost factor.
@@ -201,18 +254,32 @@ impl<'a> Sweeper<'a> {
     /// The two spin channels run as a joined pair over the pool; with
     /// `cfg.incremental` the block and cluster caches limit the rebuild
     /// to slices flipped since the previous refresh.
-    pub fn refresh(&mut self, slice: usize, par: Parallelism<'_>) {
+    ///
+    /// # Errors
+    /// Returned only when every rung of the recovery ladder's escalation
+    /// ladder failed; the last error is surfaced and also logged in
+    /// [`Self::recovery_stats`].
+    pub fn refresh(&mut self, slice: usize, par: Parallelism<'_>) -> FsiResult<()> {
+        match self.refresh_once(slice, par) {
+            Ok(()) => Ok(()),
+            Err(e) => self.recover(slice, par, e),
+        }
+    }
+
+    /// One stabilization attempt, no recovery: the fallible core that both
+    /// [`Self::refresh`] and the ladder's retries drive.
+    fn refresh_once(&mut self, slice: usize, par: Parallelism<'_>) -> FsiResult<()> {
         let l = self.builder.params().l;
         let k = (slice + l - 1) % l;
         let (outer, inner) = par.split();
         let c = self.cfg.c;
         let builder = self.builder;
         let field = &self.field;
-        if self.cfg.incremental {
+        let (g_up, g_dn) = if self.cfg.incremental {
             let dirty = &self.dirty;
             let [bc_up, bc_dn] = &mut self.block_caches;
             let [cc_up, cc_dn] = &mut self.cluster_caches;
-            let (g_up, g_dn) = spin_join(
+            spin_join(
                 par,
                 move || {
                     bc_up.sync(builder, field, Spin::Up, dirty);
@@ -222,10 +289,9 @@ impl<'a> Sweeper<'a> {
                     bc_dn.sync(builder, field, Spin::Down, dirty);
                     equal_time_green_cached(outer, inner, bc_dn.blocks(), dirty, cc_dn, k, c)
                 },
-            );
-            self.g = [g_up, g_dn];
+            )
         } else {
-            let (g_up, g_dn) = spin_join(
+            spin_join(
                 par,
                 || {
                     let pc = hubbard_pcyclic(builder, field, Spin::Up);
@@ -235,11 +301,119 @@ impl<'a> Sweeper<'a> {
                     let pc = hubbard_pcyclic(builder, field, Spin::Down);
                     equal_time_green_stable(outer, inner, &pc, k, c)
                 },
-            );
-            self.g = [g_up, g_dn];
-        }
+            )
+        };
+        // Both spins completed (the join has no early exit); surface the
+        // first failure only after both channels are accounted for.
+        self.g = [g_up?, g_dn?];
         self.dirty.iter_mut().for_each(|d| *d = false);
         self.wraps_since_stab = 0;
+        Ok(())
+    }
+
+    /// The deterministic escalation ladder (tentpole of the robustness
+    /// layer). Each rung emits a `recovery.*` trace span, applies a
+    /// progressively blunter remedy, and retries the refresh:
+    ///
+    /// 1. `recovery.invalidate_caches` — drop both spins' block and
+    ///    cluster caches (heals any corrupted cached state; retry is a
+    ///    cold, bitwise-clean rebuild).
+    /// 2. `recovery.shrink_cluster` — halve the cluster size (largest
+    ///    divisor of `L` at most `c/2`, capped by [`auto_cluster_size`]
+    ///    with the tightened [`RECOVERY_TOL`]) — the paper-§II-C remedy
+    ///    for `κ(B)^c` chain-conditioning blowup.
+    /// 3. `recovery.dense_wrap` — permanently fall back from the factored
+    ///    similarity wrap to [`WrapStrategy::Dense`].
+    /// 4. `recovery.from_scratch` — disable incremental reuse entirely and
+    ///    recompute with `c = 1` (no clustering at all).
+    ///
+    /// Rungs 2–4 deliberately persist in the configuration: a matrix that
+    /// needed them once will need them again, and a deterministic ladder
+    /// must not oscillate.
+    fn recover(&mut self, slice: usize, par: Parallelism<'_>, first: FsiError) -> FsiResult<()> {
+        self.recovery.events.push(first);
+        {
+            let _s = trace::span("recovery.invalidate_caches");
+            self.recovery.cache_invalidations += 1;
+            self.invalidate_caches();
+        }
+        match self.refresh_once(slice, par) {
+            Ok(()) => return Ok(()),
+            Err(e) => self.recovery.events.push(e),
+        }
+        {
+            let _s = trace::span("recovery.shrink_cluster");
+            self.recovery.cluster_shrinks += 1;
+            self.cfg.c = self.shrunk_cluster_size();
+            self.invalidate_caches();
+        }
+        match self.refresh_once(slice, par) {
+            Ok(()) => return Ok(()),
+            Err(e) => self.recovery.events.push(e),
+        }
+        {
+            let _s = trace::span("recovery.dense_wrap");
+            self.recovery.dense_fallbacks += 1;
+            self.cfg.wrap = WrapStrategy::Dense;
+            self.invalidate_caches();
+        }
+        match self.refresh_once(slice, par) {
+            Ok(()) => return Ok(()),
+            Err(e) => self.recovery.events.push(e),
+        }
+        {
+            let _s = trace::span("recovery.from_scratch");
+            self.recovery.from_scratch += 1;
+            self.cfg.incremental = false;
+            self.cfg.c = 1;
+        }
+        match self.refresh_once(slice, par) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.recovery.events.push(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Drops all cached per-spin state (dense blocks and cluster
+    /// products); the next refresh is a full cold rebuild.
+    fn invalidate_caches(&mut self) {
+        for bc in &mut self.block_caches {
+            bc.invalidate();
+        }
+        for cc in &mut self.cluster_caches {
+            cc.invalidate();
+        }
+    }
+
+    /// Rung-2 policy: the largest divisor of `L` no bigger than `c/2`,
+    /// further capped by [`auto_cluster_size`] re-estimated on the current
+    /// (suspect) up-spin matrix at the tightened [`RECOVERY_TOL`]. Always
+    /// at least 1; [`fsi_selinv::growth_rate`] maps a singular block to an
+    /// infinite rate, which caps the estimate at `c = 1` instead of
+    /// panicking.
+    fn shrunk_cluster_size(&self) -> usize {
+        let l = self.builder.params().l;
+        let pc = hubbard_pcyclic(self.builder, &self.field, Spin::Up);
+        let cap = auto_cluster_size(&pc, RECOVERY_TOL);
+        let half = (self.cfg.c / 2).max(1);
+        (1..=half.min(cap))
+            .filter(|d| l.is_multiple_of(*d))
+            .max()
+            .unwrap_or(1)
+    }
+
+    /// The recovery ladder's activity log (empty on a healthy run).
+    pub fn recovery_stats(&self) -> &RecoveryStats {
+        &self.recovery
+    }
+
+    /// The sweep configuration as currently in force — recovery
+    /// escalations mutate it (shrunk `c`, dense wraps, disabled
+    /// incremental reuse), and harnesses read back what survived.
+    pub fn config(&self) -> &SweepConfig {
+        &self.cfg
     }
 
     /// `(hits, misses)` summed over both spins' cluster caches since
@@ -293,7 +467,11 @@ impl<'a> Sweeper<'a> {
     /// Wraps both `Ĝ_σ` from the slice-`slice` frame to slice `slice+1`:
     /// `Ĝ ← B_slice·Ĝ·B_slice⁻¹` with the current (post-update) field,
     /// spins joined over the pool.
-    fn wrap_to_next(&mut self, slice: usize, par: Parallelism<'_>) {
+    ///
+    /// A wrap whose output fails the [`Stage::Wrap`] probe is repaired by
+    /// recomputing `Ĝ(slice+1)` from scratch through the recovery ladder —
+    /// the wrapped pair is disposable, so stabilization *is* the remedy.
+    fn wrap_to_next(&mut self, slice: usize, par: Parallelism<'_>) -> FsiResult<()> {
         let (_, inner) = par.split();
         let builder = self.builder;
         let field = &self.field;
@@ -305,6 +483,19 @@ impl<'a> Sweeper<'a> {
             || wrap_one(strategy, inner, builder, field, slice, Spin::Down, g_dn),
         );
         self.wraps_since_stab += 1;
+        let mut tripped = None;
+        for g in &mut self.g {
+            #[cfg(feature = "fault-inject")]
+            health::inject::poison(Stage::Wrap, slice, g.as_mut_slice());
+            if let Err(e) = health::check_block(Stage::Wrap, slice, g.as_slice()) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = tripped {
+            self.recover(slice + 1, par, e.into())?;
+        }
+        Ok(())
     }
 
     /// Runs one full sweep over all `(ℓ, i)` (paper Alg. 4's "DQMC
@@ -314,13 +505,22 @@ impl<'a> Sweeper<'a> {
     /// With `cfg.delay > 1`, accepted flips within a slice are batched
     /// through [`crate::delayed::DelayedUpdates`] and applied as rank-`k`
     /// GEMMs (identical trajectories up to round-off; tested).
-    pub fn sweep<R: Rng + ?Sized>(&mut self, rng: &mut R, par: Parallelism<'_>) -> SweepStats {
+    ///
+    /// # Errors
+    /// Only when the full recovery ladder fails (see [`Self::refresh`]);
+    /// single faults are healed in place and merely logged in
+    /// [`Self::recovery_stats`].
+    pub fn sweep<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        par: Parallelism<'_>,
+    ) -> FsiResult<SweepStats> {
         let l = self.builder.params().l;
         let n = self.field.sites();
         let nu = self.builder.nu();
         let (_, inner) = par.split();
         let mut stats = SweepStats::default();
-        self.refresh(0, par);
+        self.refresh(0, par)?;
         for slice in 0..l {
             if self.cfg.delay > 1 {
                 // Delayed path: one accumulator per spin.
@@ -361,7 +561,7 @@ impl<'a> Sweeper<'a> {
                 }
             }
             if slice + 1 < l {
-                self.wrap_to_next(slice, par);
+                self.wrap_to_next(slice, par)?;
                 if self.wraps_since_stab >= self.cfg.stabilize_every {
                     if self.cfg.track_drift {
                         // Move the wrapped pair aside (no clone), refresh,
@@ -370,7 +570,7 @@ impl<'a> Sweeper<'a> {
                             &mut self.g,
                             [Matrix::zeros(0, 0), Matrix::zeros(0, 0)],
                         );
-                        self.refresh(slice + 1, par);
+                        self.refresh(slice + 1, par)?;
                         for (w, fresh) in wrapped.iter().zip(&self.g) {
                             let d = w
                                 .as_slice()
@@ -381,12 +581,12 @@ impl<'a> Sweeper<'a> {
                             stats.max_drift = stats.max_drift.max(d);
                         }
                     } else {
-                        self.refresh(slice + 1, par);
+                        self.refresh(slice + 1, par)?;
                     }
                 }
             }
         }
-        stats
+        Ok(stats)
     }
 }
 
@@ -563,8 +763,9 @@ mod tests {
         let field = HsField::random(8, 4, &mut rng);
         for slice in [0usize, 2, 7] {
             let sweeper = {
-                let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default());
-                s.refresh(slice, Parallelism::Serial);
+                let mut s =
+                    Sweeper::new(&builder, field.clone(), SweepConfig::default()).expect("healthy");
+                s.refresh(slice, Parallelism::Serial).expect("healthy");
                 s
             };
             for i in 0..4 {
@@ -592,7 +793,7 @@ mod tests {
         let builder = small_builder(8);
         let mut rng = ChaCha8Rng::seed_from_u64(11);
         let field = HsField::random(8, 4, &mut rng);
-        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
         // Force-accept a few flips at slice 0, then compare the updated G
         // against a from-scratch recomputation.
         for i in [0usize, 2, 3] {
@@ -600,7 +801,7 @@ mod tests {
             sweeper.apply_flip(0, i, r_up, r_dn);
         }
         let updated = sweeper.g.clone();
-        sweeper.refresh(0, Parallelism::Serial);
+        sweeper.refresh(0, Parallelism::Serial).expect("healthy");
         for idx in 0..2 {
             let err = rel_error(&updated[idx], &sweeper.g[idx]);
             assert!(err < 1e-9, "spin {idx}: SM drift {err}");
@@ -612,11 +813,13 @@ mod tests {
         let builder = small_builder(8);
         let mut rng = ChaCha8Rng::seed_from_u64(12);
         let field = HsField::random(8, 4, &mut rng);
-        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
         // Ĝ(0) → wrap → should equal fresh Ĝ(1).
-        sweeper.wrap_to_next(0, Parallelism::Serial);
+        sweeper
+            .wrap_to_next(0, Parallelism::Serial)
+            .expect("healthy");
         let wrapped = sweeper.g.clone();
-        sweeper.refresh(1, Parallelism::Serial);
+        sweeper.refresh(1, Parallelism::Serial).expect("healthy");
         for idx in 0..2 {
             let err = rel_error(&wrapped[idx], &sweeper.g[idx]);
             assert!(err < 1e-9, "spin {idx}: wrap err {err}");
@@ -628,7 +831,8 @@ mod tests {
         let builder = small_builder(8);
         let mut rng = ChaCha8Rng::seed_from_u64(30);
         let field = HsField::random(8, 4, &mut rng);
-        let sweeper = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+        let sweeper =
+            Sweeper::new(&builder, field.clone(), SweepConfig::default()).expect("healthy");
         for spin in Spin::BOTH {
             for slice in [0usize, 3, 7] {
                 let mut dense = sweeper.green(spin).clone();
@@ -656,7 +860,8 @@ mod tests {
         );
         let mut rng = ChaCha8Rng::seed_from_u64(31);
         let field = HsField::random(8, 4, &mut rng);
-        let sweeper = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+        let sweeper =
+            Sweeper::new(&builder, field.clone(), SweepConfig::default()).expect("healthy");
         for spin in Spin::BOTH {
             let mut dense = sweeper.green(spin).clone();
             wrap_dense(Par::Seq, &builder, &field, 2, spin, &mut dense);
@@ -677,11 +882,14 @@ mod tests {
                 incremental,
                 ..SweepConfig::default()
             };
-            let mut s = Sweeper::new(&builder, field.clone(), cfg);
+            let mut s = Sweeper::new(&builder, field.clone(), cfg).expect("healthy");
             let mut rng = ChaCha8Rng::seed_from_u64(777);
             let mut accepted = 0;
             for _ in 0..3 {
-                accepted += s.sweep(&mut rng, Parallelism::Serial).accepted;
+                accepted += s
+                    .sweep(&mut rng, Parallelism::Serial)
+                    .expect("healthy")
+                    .accepted;
             }
             (accepted, s.field().to_flat(), s.green(Spin::Up).clone())
         };
@@ -703,12 +911,12 @@ mod tests {
         let field = HsField::random(8, 4, &mut rng);
         // stabilize_every = 8 = L keeps refreshes anchored at slice 0
         // (k = 7, same residue mod c = 4 every time).
-        let mut s = Sweeper::new(&builder, field, SweepConfig::default());
+        let mut s = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
         let (h0, m0) = s.cluster_cache_stats();
         assert_eq!(h0, 0, "cold build has no hits");
         assert_eq!(m0, 2 * 2, "cold build recomputes b = L/c = 2 per spin");
         let mut rng = ChaCha8Rng::seed_from_u64(888);
-        s.sweep(&mut rng, Parallelism::Serial);
+        s.sweep(&mut rng, Parallelism::Serial).expect("healthy");
         let (h1, m1) = s.cluster_cache_stats();
         assert!(h1 > h0, "sweep-start refresh must reuse clean clusters");
         // A warm refresh recomputes strictly fewer products than cold.
@@ -724,9 +932,10 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(13);
         let field = HsField::random(8, 4, &mut rng);
         let run = |seed: u64| {
-            let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+            let mut s =
+                Sweeper::new(&builder, field.clone(), SweepConfig::default()).expect("healthy");
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            let stats = s.sweep(&mut rng, Parallelism::Serial);
+            let stats = s.sweep(&mut rng, Parallelism::Serial).expect("healthy");
             (stats, s.field().to_flat())
         };
         let (s1, f1) = run(99);
@@ -742,9 +951,11 @@ mod tests {
     fn sweep_proposes_every_site_and_field_stays_pm1() {
         let builder = small_builder(4);
         let field = HsField::ones(4, 4);
-        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let mut sweeper = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
         let mut rng = ChaCha8Rng::seed_from_u64(14);
-        let stats = sweeper.sweep(&mut rng, Parallelism::Serial);
+        let stats = sweeper
+            .sweep(&mut rng, Parallelism::Serial)
+            .expect("healthy");
         assert_eq!(stats.proposed, 4 * 4);
         assert!(stats.accepted <= stats.proposed);
         assert!((0.0..=1.0).contains(&stats.acceptance()));
@@ -766,8 +977,11 @@ mod tests {
                 track_drift: true,
                 ..SweepConfig::default()
             },
-        );
-        let stats = sweeper.sweep(&mut rng, Parallelism::Serial);
+        )
+        .expect("healthy");
+        let stats = sweeper
+            .sweep(&mut rng, Parallelism::Serial)
+            .expect("healthy");
         assert!(
             stats.max_drift < 1e-8,
             "wrap drift should be tiny at β=2: {}",
@@ -785,9 +999,9 @@ mod tests {
                 delay,
                 ..SweepConfig::default()
             };
-            let mut s = Sweeper::new(&builder, field.clone(), cfg);
+            let mut s = Sweeper::new(&builder, field.clone(), cfg).expect("healthy");
             let mut rng = ChaCha8Rng::seed_from_u64(500);
-            let stats = s.sweep(&mut rng, Parallelism::Serial);
+            let stats = s.sweep(&mut rng, Parallelism::Serial).expect("healthy");
             (
                 stats.accepted,
                 s.field().to_flat(),
@@ -821,7 +1035,7 @@ mod tests {
             },
         );
         let field = HsField::ones(8, 4);
-        let sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+        let sweeper = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
         let g = sweeper.green(Spin::Up);
         let trace: f64 = (0..4).map(|i| g[(i, i)]).sum();
         let density = 1.0 - trace / 4.0;

@@ -25,7 +25,7 @@ fn free_fermion_limit_is_exact() {
         delay: 1,
         seed: 3,
     };
-    let r = run(&cfg, Parallelism::Serial);
+    let r = run(&cfg, Parallelism::Serial).expect("healthy");
     // Half filling exactly.
     assert!(
         (r.density.mean() - 1.0).abs() < 1e-10,
@@ -74,7 +74,7 @@ fn single_site_atomic_limit_matches_exact_diagonalization() {
         delay: 1,
         seed: 17,
     };
-    let r = run(&cfg, Parallelism::Serial);
+    let r = run(&cfg, Parallelism::Serial).expect("healthy");
     let err = (r.double_occupancy.mean() - exact_docc).abs();
     // Monte Carlo error bar at 400 samples; allow 5 sigma + a floor.
     let tol = (5.0 * r.double_occupancy.stderr()).max(0.02);
@@ -97,7 +97,7 @@ fn metropolis_ratios_are_reciprocal() {
     let builder = BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8));
     let mut rng = ChaCha8Rng::seed_from_u64(5);
     let field = HsField::random(8, 4, &mut rng);
-    let sweeper = Sweeper::new(&builder, field, SweepConfig::default());
+    let sweeper = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
     // Ratio of flipping (0, 2), then after flipping, the reverse ratio.
     let (r_up, r_dn) = sweeper.ratio(0, 2);
     let forward = r_up * r_dn;
@@ -105,7 +105,7 @@ fn metropolis_ratios_are_reciprocal() {
     // single-step — easiest is a fresh sweeper with the flipped field.
     let mut flipped_field = sweeper.field().clone();
     flipped_field.flip(0, 2);
-    let flipped = Sweeper::new(&builder, flipped_field, SweepConfig::default());
+    let flipped = Sweeper::new(&builder, flipped_field, SweepConfig::default()).expect("healthy");
     let (ru2, rd2) = flipped.ratio(0, 2);
     let backward = ru2 * rd2;
     assert!(
@@ -125,11 +125,13 @@ fn wrap_around_the_torus_is_identity() {
         c: 3,
         ..SweepConfig::default()
     };
-    let mut sweeper = Sweeper::new(&builder, field, cfg);
+    let mut sweeper = Sweeper::new(&builder, field, cfg).expect("healthy");
     let g0 = sweeper.green(Spin::Up).clone();
     // Refresh at each slice in turn and come back to 0.
     for slice in [1usize, 2, 3, 4, 5, 0] {
-        sweeper.refresh(slice, Parallelism::Serial);
+        sweeper
+            .refresh(slice, Parallelism::Serial)
+            .expect("healthy");
     }
     let g_back = sweeper.green(Spin::Up).clone();
     assert!(
@@ -156,14 +158,15 @@ fn delayed_updates_do_not_change_the_simulation() {
         delay: 1,
         seed: 21,
     };
-    let plain = run(&base, Parallelism::Serial);
+    let plain = run(&base, Parallelism::Serial).expect("healthy");
     let delayed = run(
         &DqmcConfig {
             delay: 8,
             ..base.clone()
         },
         Parallelism::Serial,
-    );
+    )
+    .expect("healthy");
     assert!((plain.density.mean() - delayed.density.mean()).abs() < 1e-9);
     assert!((plain.moment.mean() - delayed.moment.mean()).abs() < 1e-9);
     assert!((plain.kinetic.mean() - delayed.kinetic.mean()).abs() < 1e-9);

@@ -39,6 +39,7 @@
 
 pub mod comm;
 pub mod flops;
+pub mod health;
 pub mod parallel;
 pub mod pool;
 pub mod sim;
@@ -48,6 +49,7 @@ pub mod workspace;
 
 #[allow(deprecated)] // shims kept for external callers of the old API
 pub use flops::{flop_count, reset_flops, FlopCounter};
+pub use health::{FsiError, FsiResult, HealthEvent, Stage};
 pub use parallel::{join, parallel_for, parallel_map, pipeline, Schedule};
 pub use pool::{Par, PoolStats, ScopeHandle, ThreadPool, WorkerStats};
 pub use timing::{Profile, Stopwatch};

@@ -128,7 +128,7 @@ mod tests {
         let pc = random_pcyclic(4, 12, 91);
         for pattern in Pattern::ALL {
             let sel = Selection::new(pattern, 4, 2);
-            let fsi_out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            let fsi_out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
             let full = full_inverse_selected(Par::Seq, &pc, &sel);
             let err = max_block_error(&fsi_out.selected, &full);
             assert!(err < 1e-8, "{pattern:?}: {err}");

@@ -62,6 +62,7 @@
 use fsi_dense::tri::invert_upper;
 use fsi_dense::{gemm, geqrf, Matrix, QrFactor};
 use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::health::{self, FsiResult, HealthEvent, Stage};
 use fsi_runtime::{trace, Par, Schedule};
 
 use crate::patterns::{SelectedInverse, SelectedPattern};
@@ -112,11 +113,17 @@ pub fn bsofi(par_cols: Par<'_>, par_gemm: Par<'_>, pc: &BlockPCyclic) -> Matrix 
 /// factorization nested under `bsofi.lookahead`; the measured flops equal
 /// [`crate::flops::bsofi_selected_flops`] exactly.
 ///
+/// Data-dependent failure is fallible, not fatal: a zero or wildly graded
+/// `R` diagonal ([`StructuredQr::check_health`]) and any non-finite or
+/// overflow-bound assembled block surface as an `Err` before the bad
+/// numbers can escape into a caller's Green's function.
+///
 /// ```
 /// use fsi_runtime::Par;
 /// use fsi_selinv::{bsofi, bsofi_selected, SelectedPattern};
 /// let m = fsi_pcyclic::random_pcyclic(2, 3, 5);
-/// let sel = bsofi_selected(Par::Seq, Par::Seq, &m, &SelectedPattern::Diagonals);
+/// let sel = bsofi_selected(Par::Seq, Par::Seq, &m, &SelectedPattern::Diagonals)
+///     .expect("well-conditioned test matrix");
 /// let dense = bsofi(Par::Seq, Par::Seq, &m);
 /// for k in 0..3 {
 ///     let got = sel.get(k, k).expect("diagonal block");
@@ -129,7 +136,7 @@ pub fn bsofi_selected(
     par_gemm: Par<'_>,
     pc: &BlockPCyclic,
     pattern: &SelectedPattern,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let _span = trace::span("bsofi.selected");
     let b = pc.l();
     if b == 1 {
@@ -138,15 +145,35 @@ pub fn bsofi_selected(
         m.add_diag(1.0);
         let f = geqrf(m);
         let mut x = f.r();
+        // Pivot probe before the triangular inversion divides by R_ii.
+        let diag: Vec<f64> = (0..x.rows()).map(|i| x[(i, i)]).collect();
+        health::check_pivots(Stage::Bsofi, 0, &diag)?;
         invert_upper(x.as_mut());
         zero_strict_lower(&mut x);
         f.apply_qt_right(par_gemm, x.as_mut());
         let mut out = SelectedInverse::new();
         out.insert(0, 0, x);
-        return out;
+        scan_selected(&mut out)?;
+        return Ok(out);
     }
     let factor = StructuredQr::factor_lookahead(par_cols, par_gemm, pc);
-    factor.selected(par_cols, par_gemm, pattern)
+    factor.check_health()?;
+    let mut out = factor.selected(par_cols, par_gemm, pattern);
+    scan_selected(&mut out)?;
+    Ok(out)
+}
+
+/// Output-boundary probe of an assembled selection: visits blocks in
+/// coordinate order (deterministic over the hash map), runs the injection
+/// hook, and scans for non-finite / overflow-bound entries.
+fn scan_selected(sel: &mut SelectedInverse) -> Result<(), HealthEvent> {
+    for (k, l) in sel.sorted_coordinates() {
+        let blk = sel.get_mut(k, l).expect("coordinate just listed");
+        #[cfg(feature = "fault-inject")]
+        health::inject::poison(Stage::Bsofi, k, blk.as_mut_slice());
+        health::check_block(Stage::Bsofi, k, blk.as_slice())?;
+    }
+    Ok(())
 }
 
 /// The structured QR factorization of a block p-cyclic matrix
@@ -298,6 +325,28 @@ impl StructuredQr {
     /// the cache built at factor time — no per-call allocation).
     pub fn r_diag(&self, j: usize) -> &Matrix {
         &self.r_diags[j]
+    }
+
+    /// Stage-boundary health probe on the factorization: checks the
+    /// stacked `R_jj` diagonals (the pivots every stage B/C division goes
+    /// through) for zeros, non-finite values, and a magnitude spread past
+    /// [`fsi_runtime::health::KAPPA_MAX`]. Essentially free — the
+    /// diagonals are cached at factor time and the scan is `O(bN)`.
+    ///
+    /// Reported column indices are global (block `j` contributes columns
+    /// `jN..(j+1)N`).
+    pub fn check_health(&self) -> Result<(), HealthEvent> {
+        if !health::probes_enabled() {
+            return Ok(());
+        }
+        let mut diag = Vec::with_capacity(self.b * self.n);
+        for j in 0..self.b {
+            let r = self.r_diag(j);
+            for i in 0..self.n {
+                diag.push(r[(i, i)]);
+            }
+        }
+        health::check_pivots(Stage::Bsofi, 0, &diag)
     }
 
     /// Superdiagonal fill `E_j` (`j = b−2` is the merged last-column
@@ -844,7 +893,7 @@ mod tests {
             let mut patterns = vec![SelectedPattern::Diagonals, SelectedPattern::Full];
             patterns.extend((0..b).map(SelectedPattern::DiagonalBlock));
             for pattern in patterns {
-                let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+                let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern).expect("healthy");
                 let coords = pattern.coordinates(b);
                 assert_eq!(sel.len(), coords.len(), "{pattern:?} block count");
                 for (k, l) in coords {
@@ -866,7 +915,7 @@ mod tests {
             SelectedPattern::DiagonalBlock(0),
             SelectedPattern::Full,
         ] {
-            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern).expect("healthy");
             assert_eq!(sel.len(), 1);
             let got = sel.get(0, 0).expect("single block");
             assert!(rel_error(got, &want) < 1e-10, "{pattern:?}");
@@ -882,9 +931,11 @@ mod tests {
             SelectedPattern::DiagonalBlock(3),
             SelectedPattern::Full,
         ] {
-            let seq = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
-            let rows_par = bsofi_selected(Par::Pool(&pool), Par::Seq, &pc, &pattern);
-            let gemm_par = bsofi_selected(Par::Seq, Par::Pool(&pool), &pc, &pattern);
+            let seq = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern).expect("healthy");
+            let rows_par =
+                bsofi_selected(Par::Pool(&pool), Par::Seq, &pc, &pattern).expect("healthy");
+            let gemm_par =
+                bsofi_selected(Par::Seq, Par::Pool(&pool), &pc, &pattern).expect("healthy");
             for (coord, blk) in seq.iter() {
                 let r = rows_par.get(coord.0, coord.1).expect("rows-par block");
                 let g = gemm_par.get(coord.0, coord.1).expect("gemm-par block");

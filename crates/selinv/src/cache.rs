@@ -26,6 +26,7 @@
 
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::health::{self, FsiResult, HealthEvent, Stage};
 use fsi_runtime::{parallel_map, trace, Par, Schedule};
 
 use crate::cls::{cluster_product, Clustered};
@@ -35,6 +36,14 @@ type CacheKey = (usize, usize, usize, usize);
 
 /// Dirty-slice-tracking cache of the `b` CLS cluster products.
 ///
+/// Each stored product carries an FNV checksum recorded at computation
+/// time; a reuse re-verifies the checksum (when
+/// [`fsi_runtime::health::probes_enabled`]) and surfaces corruption as
+/// [`HealthEvent::CacheInconsistent`] instead of silently feeding a
+/// damaged product into BSOFI. Every error path [`Self::invalidate`]s
+/// first, so a failed call never leaves poisoned entries behind — the
+/// next call is a clean cold build.
+///
 /// ```
 /// use fsi_runtime::Par;
 /// use fsi_selinv::ClusterCache;
@@ -43,12 +52,16 @@ type CacheKey = (usize, usize, usize, usize);
 /// let mut cache = ClusterCache::new();
 /// // Cold build: all b = L/c = 2 cluster products are computed.
 /// let clean = vec![false; blocks.len()];
-/// let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, &blocks, &clean, 4, 2);
+/// let (_, rebuilt) = cache
+///     .cls(Par::Seq, Par::Seq, &blocks, &clean, 4, 2)
+///     .expect("healthy");
 /// assert_eq!(rebuilt, 2);
 /// // One dirty slice: only the cluster containing it is recomputed.
 /// let mut dirty = clean.clone();
 /// dirty[0] = true;
-/// let (clustered, rebuilt) = cache.cls(Par::Seq, Par::Seq, &blocks, &dirty, 4, 2);
+/// let (clustered, rebuilt) = cache
+///     .cls(Par::Seq, Par::Seq, &blocks, &dirty, 4, 2)
+///     .expect("healthy");
 /// assert_eq!(rebuilt, 1);
 /// assert_eq!((cache.hits(), cache.misses()), (1, 3));
 /// assert_eq!(clustered.b(), 2);
@@ -57,6 +70,7 @@ type CacheKey = (usize, usize, usize, usize);
 pub struct ClusterCache {
     key: Option<CacheKey>,
     products: Vec<Matrix>,
+    sums: Vec<u64>,
     hits: u64,
     misses: u64,
 }
@@ -81,6 +95,7 @@ impl ClusterCache {
     pub fn invalidate(&mut self) {
         self.key = None;
         self.products.clear();
+        self.sums.clear();
     }
 
     /// Incremental [`crate::cls()`]: recomputes only the cluster products
@@ -91,9 +106,16 @@ impl ClusterCache {
     /// `dirty[k]` marks original slice `k` as changed since the previous
     /// call. The caller clears the mask; this method only reads it.
     ///
+    /// # Errors
+    /// [`HealthEvent::CacheInconsistent`] when a reused product fails its
+    /// stored checksum, [`HealthEvent::NonFinite`] /
+    /// [`HealthEvent::IllConditioned`] (at [`Stage::Cls`]) when a
+    /// recomputed product fails the output scan. The cache is invalidated
+    /// before any error is returned.
+    ///
     /// # Panics
     /// Panics unless `c` divides `blocks.len()`, `q < c`, and
-    /// `dirty.len() == blocks.len()`.
+    /// `dirty.len() == blocks.len()` (dimension contracts, not data).
     pub fn cls(
         &mut self,
         par_clusters: Par<'_>,
@@ -102,7 +124,7 @@ impl ClusterCache {
         dirty: &[bool],
         c: usize,
         q: usize,
-    ) -> (Clustered, usize) {
+    ) -> FsiResult<(Clustered, usize)> {
         let l = blocks.len();
         assert!(
             c > 0 && l.is_multiple_of(c),
@@ -120,18 +142,49 @@ impl ClusterCache {
             .filter(|&m| cold || (0..c).any(|j| dirty[(c * m + o + l - j) % l]))
             .collect();
 
-        for _ in 0..b - stale.len() {
+        // Verify the reused products before spending flops on the rebuild:
+        // a corrupted entry invalidates everything and aborts the call.
+        let mut stale_iter = stale.iter().copied().peekable();
+        for m in 0..b {
+            if stale_iter.peek() == Some(&m) {
+                stale_iter.next();
+                continue;
+            }
+            #[cfg(feature = "fault-inject")]
+            health::inject::poison(Stage::Cache, m, self.products[m].as_mut_slice());
+            if health::probes_enabled()
+                && health::checksum(self.products[m].as_slice()) != self.sums[m]
+            {
+                let event = HealthEvent::CacheInconsistent {
+                    stage: Stage::Cache,
+                    block: m,
+                };
+                event.record();
+                self.invalidate();
+                return Err(event.into());
+            }
             trace::span("cls.cache_hit").finish();
         }
-        let recomputed = parallel_map(par_clusters, stale.len(), Schedule::Static, |i| {
+        #[allow(unused_mut)]
+        let mut recomputed = parallel_map(par_clusters, stale.len(), Schedule::Static, |i| {
             let _s = trace::span("cls.cache_miss");
             cluster_product(par_gemm, blocks, c * stale[i] + o, c)
         });
+        for (i, &m) in stale.iter().enumerate() {
+            #[cfg(feature = "fault-inject")]
+            health::inject::poison(Stage::Cls, m, recomputed[i].as_mut_slice());
+            if let Err(event) = health::check_block(Stage::Cls, m, recomputed[i].as_slice()) {
+                self.invalidate();
+                return Err(event.into());
+            }
+        }
 
         if cold {
             self.products = vec![Matrix::zeros(0, 0); b];
+            self.sums = vec![0; b];
         }
         for (m, prod) in stale.iter().zip(recomputed) {
+            self.sums[*m] = health::checksum(prod.as_slice());
             self.products[*m] = prod;
         }
         self.key = Some(key);
@@ -144,7 +197,7 @@ impl ClusterCache {
             q,
             l_original: l,
         };
-        (clustered, stale.len())
+        Ok((clustered, stale.len()))
     }
 }
 
@@ -169,7 +222,9 @@ mod tests {
     fn cold_cache_matches_plain_cls_bitwise() {
         let pc = random_pcyclic(4, 12, 31);
         let mut cache = ClusterCache::new();
-        let (warm, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 1);
+        let (warm, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 1)
+            .expect("healthy");
         assert_eq!(rebuilt, 3, "cold build recomputes every cluster");
         let cold = cls(Par::Seq, Par::Seq, &pc, 4, 1);
         assert_bitwise(&warm, &cold);
@@ -181,7 +236,9 @@ mod tests {
     fn dirty_slices_invalidate_exactly_their_clusters() {
         let mut pc = random_pcyclic(3, 12, 32);
         let mut cache = ClusterCache::new();
-        let (_, _) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 2);
+        let (_, _) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 2)
+            .expect("healthy");
         // o = 1: cluster 0 covers slices {1, 0, 11, 10}, cluster 1 covers
         // {5, 4, 3, 2}, cluster 2 covers {9, 8, 7, 6}. Perturb slice 3.
         let mut blocks = pc.blocks().to_vec();
@@ -189,7 +246,9 @@ mod tests {
         pc = BlockPCyclic::new(blocks);
         let mut dirty = [false; 12];
         dirty[3] = true;
-        let (warm, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 2);
+        let (warm, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 2)
+            .expect("healthy");
         assert_eq!(rebuilt, 1, "one dirty slice → one stale cluster");
         assert_eq!(cache.hits(), 2);
         let cold = cls(Par::Seq, Par::Seq, &pc, 4, 2);
@@ -200,17 +259,25 @@ mod tests {
     fn wraparound_cluster_sees_dirty_tail_slice() {
         let pc = random_pcyclic(2, 8, 33);
         let mut cache = ClusterCache::new();
-        cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 4, 0);
+        cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 4, 0)
+            .expect("healthy");
         // o = 3: cluster 0 covers slices {3, 2, 1, 0} and cluster 1 covers
         // {7, 6, 5, 4}. Dirty slice 7 must invalidate cluster 1 only.
         let mut dirty = [false; 8];
         dirty[7] = true;
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 0);
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 0)
+            .expect("healthy");
         assert_eq!(rebuilt, 1);
         // o = 1 (q = 2): cluster 0 covers {1, 0, 7, 6} — wraps past L.
         let mut cache = ClusterCache::new();
-        cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 4, 2);
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 2);
+        cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 4, 2)
+            .expect("healthy");
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 2)
+            .expect("healthy");
         assert_eq!(rebuilt, 1, "wraparound constituent must go stale");
     }
 
@@ -218,15 +285,23 @@ mod tests {
     fn changing_anchor_or_shape_forces_full_rebuild() {
         let pc = random_pcyclic(2, 12, 34);
         let mut cache = ClusterCache::new();
-        cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 1);
+        cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 1)
+            .expect("healthy");
         // Different q → different offset → no reusable products.
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 2);
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 4, 2)
+            .expect("healthy");
         assert_eq!(rebuilt, 3);
         // Different c likewise.
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 3, 0);
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 3, 0)
+            .expect("healthy");
         assert_eq!(rebuilt, 4);
         // Same key again with a clean mask → all hits.
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 3, 0);
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 12], 3, 0)
+            .expect("healthy");
         assert_eq!(rebuilt, 0);
     }
 
@@ -236,7 +311,9 @@ mod tests {
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
         let mut pc = random_pcyclic(3, 16, 35);
         let mut cache = ClusterCache::new();
-        cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 16], 4, 3);
+        cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 16], 4, 3)
+            .expect("healthy");
         for round in 0..10 {
             let mut dirty = [false; 16];
             let mut blocks = pc.blocks().to_vec();
@@ -249,7 +326,9 @@ mod tests {
                 }
             }
             pc = BlockPCyclic::new(blocks);
-            let (warm, _) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 3);
+            let (warm, _) = cache
+                .cls(Par::Seq, Par::Seq, pc.blocks(), &dirty, 4, 3)
+                .expect("healthy");
             let cold = cls(Par::Seq, Par::Seq, &pc, 4, 3);
             assert_bitwise(&warm, &cold);
         }
@@ -259,9 +338,13 @@ mod tests {
     fn invalidate_resets_to_cold() {
         let pc = random_pcyclic(2, 8, 36);
         let mut cache = ClusterCache::new();
-        cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 2, 0);
+        cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 2, 0)
+            .expect("healthy");
         cache.invalidate();
-        let (_, rebuilt) = cache.cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 2, 0);
+        let (_, rebuilt) = cache
+            .cls(Par::Seq, Par::Seq, pc.blocks(), &[false; 8], 2, 0)
+            .expect("healthy");
         assert_eq!(rebuilt, 4);
     }
 }

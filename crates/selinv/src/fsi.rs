@@ -23,10 +23,11 @@
 
 use fsi_dense::Matrix;
 use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::health::{self, FsiResult, HealthEvent, Stage};
 use fsi_runtime::{Par, Profile, ThreadPool};
 use rand::Rng;
 
-use crate::bsofi::{bsofi, bsofi_selected};
+use crate::bsofi::{bsofi, bsofi_selected, StructuredQr};
 use crate::cls::{cls, Clustered};
 use crate::patterns::{SelectedInverse, SelectedPattern, Selection};
 use crate::wrap::{wrap, wrap_selected};
@@ -134,33 +135,73 @@ pub struct FsiOutput {
 /// request only the diagonal seed blocks via [`bsofi_selected`]
 /// (truncated assembly, no dense `Ḡ`), while row/column selections — whose
 /// wraps walk from every block — take the dense [`bsofi`] path.
-pub fn fsi_with_q(par: Parallelism<'_>, pc: &BlockPCyclic, selection: &Selection) -> FsiOutput {
+///
+/// # Errors
+/// Each stage boundary is guarded by the [`fsi_runtime::health`] probes:
+/// non-finite or overflow-bound cluster products ([`Stage::Cls`]), a
+/// singular or wildly graded `R` diagonal ([`Stage::Bsofi`]), and bad
+/// wrapped output blocks ([`Stage::Wrap`]) all surface as structured
+/// errors before the damaged numbers reach the caller.
+pub fn fsi_with_q(
+    par: Parallelism<'_>,
+    pc: &BlockPCyclic,
+    selection: &Selection,
+) -> FsiResult<FsiOutput> {
     let (outer, inner) = par.split();
     let _fsi_span = fsi_runtime::trace::span("fsi");
     let mut profile = Profile::new();
-    let clustered = profile.time("cls", || cls(outer, inner, pc, selection.c, selection.q));
-    let g_reduced = profile.time("bsofi", || {
+    let clustered = profile.time("cls", || -> FsiResult<Clustered> {
+        let clustered = cls(outer, inner, pc, selection.c, selection.q);
+        check_reduced(&clustered)?;
+        Ok(clustered)
+    })?;
+    let g_reduced = profile.time("bsofi", || -> FsiResult<ReducedInverse> {
         match SelectedPattern::for_wrap(selection.pattern) {
-            SelectedPattern::Full => ReducedInverse::Dense(bsofi(outer, inner, &clustered.reduced)),
-            seed_pattern => ReducedInverse::Selected(bsofi_selected(
+            SelectedPattern::Full => {
+                let g = if clustered.reduced.l() == 1 {
+                    bsofi(outer, inner, &clustered.reduced)
+                } else {
+                    let factor = StructuredQr::factor_lookahead(outer, inner, &clustered.reduced);
+                    factor.check_health()?;
+                    factor.inverse(outer, inner)
+                };
+                health::check_block(Stage::Bsofi, 0, g.as_slice())?;
+                Ok(ReducedInverse::Dense(g))
+            }
+            seed_pattern => Ok(ReducedInverse::Selected(bsofi_selected(
                 outer,
                 inner,
                 &clustered.reduced,
                 &seed_pattern,
-            )),
+            )?)),
         }
-    });
-    let selected = profile.time("wrap", || match &g_reduced {
-        ReducedInverse::Dense(g) => wrap(outer, pc, &clustered, g, selection),
-        ReducedInverse::Selected(seeds) => wrap_selected(outer, pc, &clustered, seeds, selection),
-    });
+    })?;
+    let selected = profile.time("wrap", || -> FsiResult<SelectedInverse> {
+        match &g_reduced {
+            ReducedInverse::Dense(g) => wrap(outer, pc, &clustered, g, selection),
+            ReducedInverse::Selected(seeds) => {
+                wrap_selected(outer, pc, &clustered, seeds, selection)
+            }
+        }
+    })?;
 
-    FsiOutput {
+    Ok(FsiOutput {
         selected,
         profile,
         clustered,
         g_reduced,
+    })
+}
+
+/// Cls-stage probe of a freshly clustered matrix: every reduced block must
+/// be finite and below the overflow bound (the `κ(B)^c` chain-blowup
+/// proxy, paper §II-C). The cached path ([`crate::ClusterCache`]) runs its
+/// own richer probe with checksums; this covers the cold [`cls`] path.
+fn check_reduced(clustered: &Clustered) -> Result<(), HealthEvent> {
+    for m in 0..clustered.b() {
+        health::check_block(Stage::Cls, m, clustered.reduced.block(m).as_slice())?;
     }
+    Ok(())
 }
 
 /// Runs Alg. 1, drawing the shift `q` uniformly from `0..c` (the paper
@@ -172,7 +213,8 @@ pub fn fsi_with_q(par: Parallelism<'_>, pc: &BlockPCyclic, selection: &Selection
 /// use rand::SeedableRng;
 /// let pc = fsi_pcyclic::random_pcyclic(3, 8, 42);
 /// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
-/// let out = fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng);
+/// let out = fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng)
+///     .expect("well-conditioned test matrix");
 /// // b = L/c = 2 diagonal blocks selected, validated against the dense
 /// // reference inverse.
 /// assert_eq!(out.selected.len(), 2);
@@ -188,7 +230,7 @@ pub fn fsi<R: Rng + ?Sized>(
     pattern: crate::patterns::Pattern,
     c: usize,
     rng: &mut R,
-) -> FsiOutput {
+) -> FsiResult<FsiOutput> {
     let q = rng.gen_range(0..c);
     let selection = Selection::new(pattern, c, q);
     fsi_with_q(par, pc, &selection)
@@ -206,10 +248,10 @@ pub fn fsi_measurement_set(
     pc: &BlockPCyclic,
     c: usize,
     q: usize,
-) -> (SelectedInverse, SelectedInverse) {
+) -> FsiResult<(SelectedInverse, SelectedInverse)> {
     let (outer, _) = par.split();
     let rows_sel = Selection::new(crate::patterns::Pattern::Rows, c, q);
-    let out = fsi_with_q(par, pc, &rows_sel);
+    let out = fsi_with_q(par, pc, &rows_sel)?;
     let g_reduced = out
         .g_reduced
         .dense()
@@ -221,11 +263,11 @@ pub fn fsi_measurement_set(
         &out.clustered,
         g_reduced,
         &Selection::new(crate::patterns::Pattern::Columns, c, q),
-    );
+    )?;
     merged.merge(cols);
-    let diags = crate::wrap::wrap_all_diagonals(outer, pc, &out.clustered, g_reduced);
+    let diags = crate::wrap::wrap_all_diagonals(outer, pc, &out.clustered, g_reduced)?;
     merged.merge(diags.clone());
-    (merged, diags)
+    Ok((merged, diags))
 }
 
 #[cfg(test)]
@@ -254,7 +296,7 @@ mod tests {
         let pc = random_pcyclic(3, 12, 77);
         for pattern in Pattern::ALL {
             let sel = Selection::new(pattern, 4, 2);
-            let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
             assert_eq!(out.selected.len(), sel.coordinates(12).len());
             reference_check(&out, &pc, &sel, 1e-7);
             // Stage profile is populated.
@@ -269,9 +311,9 @@ mod tests {
         let pool = ThreadPool::new(3);
         let pc = random_pcyclic(4, 8, 78);
         let sel = Selection::new(Pattern::Columns, 4, 0);
-        let serial = fsi_with_q(Parallelism::Serial, &pc, &sel);
-        let omp = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel);
-        let mkl = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel);
+        let serial = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
+        let omp = fsi_with_q(Parallelism::OpenMp(&pool), &pc, &sel).expect("healthy");
+        let mkl = fsi_with_q(Parallelism::MklStyle(&pool), &pc, &sel).expect("healthy");
         for (coord, blk) in serial.selected.iter() {
             let o = omp.selected.get(coord.0, coord.1).expect("omp block");
             let m = mkl.selected.get(coord.0, coord.1).expect("mkl block");
@@ -285,7 +327,8 @@ mod tests {
         let pc = random_pcyclic(2, 8, 79);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
         for _ in 0..5 {
-            let out = fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng);
+            let out =
+                fsi(Parallelism::Serial, &pc, Pattern::Diagonal, 4, &mut rng).expect("healthy");
             assert!(out.clustered.q < 4);
             let sel = Selection::new(Pattern::Diagonal, 4, out.clustered.q);
             reference_check(&out, &pc, &sel, 1e-8);
@@ -302,7 +345,7 @@ mod tests {
         for spin in fsi_pcyclic::Spin::BOTH {
             let pc = hubbard_pcyclic(&builder, &field, spin);
             let sel = Selection::new(Pattern::Columns, 4, 1);
-            let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
             reference_check(&out, &pc, &sel, 1e-8);
         }
     }
@@ -310,7 +353,7 @@ mod tests {
     #[test]
     fn measurement_set_contains_everything_and_validates() {
         let pc = random_pcyclic(3, 8, 80);
-        let (merged, diags) = fsi_measurement_set(Parallelism::Serial, &pc, 4, 1);
+        let (merged, diags) = fsi_measurement_set(Parallelism::Serial, &pc, 4, 1).expect("healthy");
         // All diagonals present.
         assert_eq!(diags.len(), 8);
         for k in 0..8 {
@@ -336,7 +379,8 @@ mod tests {
     fn reduced_inverse_representation_matches_pattern() {
         let pc = random_pcyclic(2, 8, 81);
         for pattern in [Pattern::Diagonal, Pattern::SubDiagonal] {
-            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1));
+            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1))
+                .expect("healthy");
             assert!(out.g_reduced.selected().is_some(), "{pattern:?}");
             assert!(out.g_reduced.dense().is_none(), "{pattern:?}");
             // Uniform accessor: diagonal seeds present, off-diagonals not
@@ -345,7 +389,8 @@ mod tests {
             assert!(out.g_reduced.block(&out.clustered, 0, 1).is_none());
         }
         for pattern in [Pattern::Columns, Pattern::Rows] {
-            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1));
+            let out = fsi_with_q(Parallelism::Serial, &pc, &Selection::new(pattern, 4, 1))
+                .expect("healthy");
             assert!(out.g_reduced.dense().is_some(), "{pattern:?}");
             assert!(out.g_reduced.block(&out.clustered, 0, 1).is_some());
         }

@@ -17,6 +17,7 @@
 //! OOM-killer anecdote places them.
 
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
+use fsi_runtime::health::{FsiError, FsiResult};
 use fsi_runtime::{comm, Stopwatch, ThreadPool};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -63,7 +64,16 @@ pub type MeasureFn = dyn Fn(&SelectedInverse) -> Vec<f64> + Sync;
 /// The spin is fixed to [`Spin::Up`]; DQMC proper (both spins, Metropolis
 /// dynamics) lives in the `fsi-dqmc` crate — this driver is the
 /// performance harness of the paper's §V-B.
-pub fn run_multi(builder: &BlockBuilder, cfg: &MultiConfig, measure: &MeasureFn) -> MultiResult {
+///
+/// # Errors
+/// Any rank whose FSI invocation trips a health probe aborts its local
+/// loop, still participates in the collectives (with a zero contribution,
+/// so no rank deadlocks), and surfaces the first [`FsiError`] here.
+pub fn run_multi(
+    builder: &BlockBuilder,
+    cfg: &MultiConfig,
+    measure: &MeasureFn,
+) -> FsiResult<MultiResult> {
     assert!(cfg.ranks > 0 && cfg.threads_per_rank > 0 && cfg.matrices > 0);
     let l = builder.params().l;
     let n = builder.lattice().n_sites();
@@ -93,10 +103,19 @@ pub fn run_multi(builder: &BlockBuilder, cfg: &MultiConfig, measure: &MeasureFn)
         // The shift q is drawn per matrix (paper: "select q randomly").
         let mut qrng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9E37 ^ rank.id() as u64);
         let mut local = Vec::new();
+        let mut failure: Option<FsiError> = None;
         for flat in &my_fields {
             let field = HsField::from_flat(l, n, flat);
             let pc = hubbard_pcyclic(builder, &field, Spin::Up);
-            let out = crate::fsi::fsi(par, &pc, cfg.pattern, cfg.c, &mut qrng);
+            // A failed inversion must not skip the collectives below (all
+            // ranks participate or none return), so park the error.
+            let out = match crate::fsi::fsi(par, &pc, cfg.pattern, cfg.c, &mut qrng) {
+                Ok(out) => out,
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            };
             let quantities = measure(&out.selected);
             if local.is_empty() {
                 local = quantities;
@@ -107,29 +126,39 @@ pub fn run_multi(builder: &BlockBuilder, cfg: &MultiConfig, measure: &MeasureFn)
                 }
             }
         }
+        if failure.is_some() {
+            local.clear();
+        }
         // Ranks owning zero matrices contribute a zero vector of the
         // right length; resolve the length via an allreduce of maxima.
         let len = rank.allreduce(local.len(), 2, usize::max);
         if local.is_empty() {
             local = vec![0.0; len];
         }
-        rank.reduce(local, 3, |mut a, b| {
+        let reduced = rank.reduce(local, 3, |mut a, b| {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
             a
-        })
+        });
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(reduced),
+        }
     });
-    let global = results
-        .into_iter()
-        .next()
-        .expect("rank 0 result")
-        .expect("root holds the reduction");
-    MultiResult {
+    let mut global = None;
+    for (i, r) in results.into_iter().enumerate() {
+        let v = r?; // surface the first failing rank
+        if i == 0 {
+            global = v;
+        }
+    }
+    let global = global.expect("root holds the reduction");
+    Ok(MultiResult {
         global_measurements: global,
         seconds: sw.seconds(),
         matrices: cfg.matrices,
-    }
+    })
 }
 
 /// Which rank owns matrix `m` under the block distribution.
@@ -237,7 +266,7 @@ mod tests {
             pattern: Pattern::Diagonal,
             seed: 42,
         };
-        let result = run_multi(&builder, &cfg, &trace_measure);
+        let result = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
         assert_eq!(result.matrices, 7);
         // Block-count channel: 7 matrices × b=2 diagonal blocks.
         assert_eq!(result.global_measurements[1], 14.0);
@@ -257,13 +286,13 @@ mod tests {
             pattern: Pattern::Diagonal,
             seed: 7,
         };
-        let r1 = run_multi(&builder, &base, &trace_measure);
+        let r1 = run_multi(&builder, &base, &trace_measure).expect("healthy");
         for ranks in [2usize, 5] {
             let cfg = MultiConfig {
                 ranks,
                 ..base.clone()
             };
-            let r = run_multi(&builder, &cfg, &trace_measure);
+            let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
             for (a, b) in r1.global_measurements.iter().zip(&r.global_measurements) {
                 assert!(
                     (a - b).abs() < 1e-6 * a.abs().max(1.0),
@@ -289,8 +318,8 @@ mod tests {
             ranks: 1,
             ..cfg1.clone()
         };
-        let r1 = run_multi(&builder, &cfg1, &trace_measure);
-        let r2 = run_multi(&builder, &cfg2, &trace_measure);
+        let r1 = run_multi(&builder, &cfg1, &trace_measure).expect("healthy");
+        let r2 = run_multi(&builder, &cfg2, &trace_measure).expect("healthy");
         for (a, b) in r1.global_measurements.iter().zip(&r2.global_measurements) {
             assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
         }

@@ -255,6 +255,20 @@ impl SelectedInverse {
         self.blocks.get(&(k, l))
     }
 
+    /// Looks up block `(k, ℓ)` mutably (the health layer's injection and
+    /// scan hooks visit blocks in coordinate order).
+    pub fn get_mut(&mut self, k: usize, l: usize) -> Option<&mut Matrix> {
+        self.blocks.get_mut(&(k, l))
+    }
+
+    /// The stored coordinates in sorted order — a deterministic visiting
+    /// order over the underlying hash map.
+    pub fn sorted_coordinates(&self) -> Vec<(usize, usize)> {
+        let mut coords: Vec<(usize, usize)> = self.blocks.keys().copied().collect();
+        coords.sort_unstable();
+        coords
+    }
+
     /// Removes and returns block `(k, ℓ)` — callers that consume a single
     /// block (the DQMC stabilizer) avoid a copy.
     pub fn remove(&mut self, k: usize, l: usize) -> Option<Matrix> {

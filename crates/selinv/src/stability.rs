@@ -27,14 +27,19 @@ use fsi_pcyclic::BlockPCyclic;
 /// Estimated per-block growth rate of a cluster chain: the largest
 /// one-norm condition estimate over the matrix's blocks.
 ///
-/// # Panics
-/// Panics if any block is singular (Hubbard blocks never are).
+/// A singular block (infinite condition number) yields an infinite rate:
+/// [`max_stable_cluster`] then caps at `c = 1`, so [`auto_cluster_size`]
+/// degrades to no clustering instead of aborting. Hubbard blocks are
+/// never singular, but a recovery path re-estimating `c` on suspect data
+/// must not panic on the one matrix it is trying to defend against.
 pub fn growth_rate(pc: &BlockPCyclic) -> f64 {
     let mut worst = 1.0f64;
     for k in 0..pc.l() {
         let b = pc.block(k);
-        let f = getrf(b.clone()).expect("blocks of a valid p-cyclic matrix are nonsingular");
-        worst = worst.max(cond1_estimate(b, &f));
+        match getrf(b.clone()) {
+            Ok(f) => worst = worst.max(cond1_estimate(b, &f)),
+            Err(_) => return f64::INFINITY,
+        }
     }
     worst
 }
@@ -111,6 +116,23 @@ mod tests {
     }
 
     #[test]
+    fn singular_block_degrades_to_no_clustering() {
+        use fsi_dense::Matrix;
+        // One exactly singular block: infinite rate, never a panic.
+        let blocks = vec![
+            Matrix::identity(3),
+            Matrix::zeros(3, 3),
+            Matrix::identity(3),
+            Matrix::identity(3),
+        ];
+        let pc = BlockPCyclic::new(blocks);
+        let rate = growth_rate(&pc);
+        assert!(rate.is_infinite());
+        assert_eq!(max_stable_cluster(4, rate, 1e-8), 1);
+        assert_eq!(auto_cluster_size(&pc, 1e-8), 1);
+    }
+
+    #[test]
     fn growth_rate_increases_with_coupling() {
         // Larger Δτ (fixed L, larger β) → worse-conditioned blocks.
         let mild = growth_rate(&hubbard(1.0, 16));
@@ -166,7 +188,7 @@ mod tests {
         let pc = hubbard(8.0, 16);
         let c = auto_cluster_size(&pc, 1e-9);
         let sel = Selection::new(Pattern::Columns, c, c / 2);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let reference = full_inverse_selected(fsi_runtime::Par::Seq, &pc, &sel);
         let err = max_block_error(&out.selected, &reference);
         assert!(err < 1e-7, "auto c = {c} gave error {err}");

@@ -34,6 +34,7 @@ use std::sync::OnceLock;
 
 use fsi_dense::{getrf, LuFactor, Matrix};
 use fsi_pcyclic::BlockPCyclic;
+use fsi_runtime::health::{self, FsiResult, HealthEvent, Stage};
 use fsi_runtime::{Par, Schedule};
 
 use crate::cls::Clustered;
@@ -147,7 +148,7 @@ pub fn wrap(
     clustered: &Clustered,
     g_reduced: &Matrix,
     selection: &Selection,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let seed = |k0: usize, l0: usize| clustered.reduced.dense_block(g_reduced, k0, l0);
     wrap_with(par, pc, clustered, &seed, selection)
 }
@@ -165,7 +166,7 @@ pub fn wrap_selected(
     clustered: &Clustered,
     seeds: &SelectedInverse,
     selection: &Selection,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let seed = |k0: usize, l0: usize| {
         seeds
             .get(k0, l0)
@@ -177,13 +178,24 @@ pub fn wrap_selected(
 
 /// Shared wrap engine: the seed closure abstracts over where the reduced
 /// inverse blocks come from (dense `Ḡ` vs sparse selected assembly).
+/// Wrap-stage boundary probe (plus injection hook under `fault-inject`),
+/// fused into block production so it runs while the freshly wrapped block
+/// is still cache-hot instead of as a cold post-pass over the selection.
+#[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+fn probe_wrapped(k: usize, mut blk: Matrix) -> Result<Matrix, HealthEvent> {
+    #[cfg(feature = "fault-inject")]
+    health::inject::poison(Stage::Wrap, k, blk.as_mut_slice());
+    health::check_block(Stage::Wrap, k, blk.as_slice())?;
+    Ok(blk)
+}
+
 fn wrap_with(
     par: Par<'_>,
     pc: &BlockPCyclic,
     clustered: &Clustered,
     seed: &(dyn Fn(usize, usize) -> Matrix + Sync),
     selection: &Selection,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     assert_eq!(
         selection.c, clustered.c,
         "selection and clustering disagree on c"
@@ -202,23 +214,29 @@ fn wrap_with(
             let mut out = SelectedInverse::new();
             for k0 in 0..b {
                 let k = clustered.to_original(k0);
-                out.insert(k, k, seed(k0, k0));
+                out.insert(k, k, probe_wrapped(k, seed(k0, k0))?);
             }
-            out
+            Ok(out)
         }
         Pattern::SubDiagonal => {
             // S2: one right-step from each diagonal seed.
-            let results = fsi_runtime::parallel_map(par, b, Schedule::Dynamic(1), |k0| {
-                let k = clustered.to_original(k0);
-                let gkk = seed(k0, k0);
-                let gk_next = step_right(pc, &factors, &gkk, k, k);
-                (k, pc.down(k), gk_next)
-            });
+            let results = fsi_runtime::parallel_map(
+                par,
+                b,
+                Schedule::Dynamic(1),
+                |k0| -> Result<(usize, usize, Matrix), HealthEvent> {
+                    let k = clustered.to_original(k0);
+                    let gkk = seed(k0, k0);
+                    let gk_next = probe_wrapped(k, step_right(pc, &factors, &gkk, k, k))?;
+                    Ok((k, pc.down(k), gk_next))
+                },
+            );
             let mut out = SelectedInverse::new();
-            for (k, l, blk) in results {
+            for r in results {
+                let (k, l, blk) = r?;
                 out.insert(k, l, blk);
             }
-            out
+            Ok(out)
         }
         Pattern::Columns | Pattern::Rows => {
             let rows_pattern = selection.pattern == Pattern::Rows;
@@ -226,55 +244,60 @@ fn wrap_with(
             // the two directions to minimize chain length.
             let up_steps = c / 2; // ⌈(c−1)/2⌉ for the "before" direction
             let down_steps = (c - 1) - up_steps;
-            let results = fsi_runtime::parallel_map(par, b * b, Schedule::Dynamic(1), |s| {
-                let (k0, l0) = (s / b, s % b);
-                let k = clustered.to_original(k0);
-                let l = clustered.to_original(l0);
-                let mut produced: Vec<(usize, usize, Matrix)> = Vec::with_capacity(c);
-                let g_seed = seed(k0, l0);
-                if rows_pattern {
-                    // Walk left then right along block row k.
-                    let mut cur = g_seed.clone();
-                    let mut col = l;
-                    for _ in 0..up_steps {
-                        cur = step_left(pc, &cur, k, col);
-                        col = pc.up(col);
-                        produced.push((k, col, cur.clone()));
+            let results = fsi_runtime::parallel_map(
+                par,
+                b * b,
+                Schedule::Dynamic(1),
+                |s| -> Result<Vec<(usize, usize, Matrix)>, HealthEvent> {
+                    let (k0, l0) = (s / b, s % b);
+                    let k = clustered.to_original(k0);
+                    let l = clustered.to_original(l0);
+                    let mut produced: Vec<(usize, usize, Matrix)> = Vec::with_capacity(c);
+                    let g_seed = seed(k0, l0);
+                    if rows_pattern {
+                        // Walk left then right along block row k.
+                        let mut cur = g_seed.clone();
+                        let mut col = l;
+                        for _ in 0..up_steps {
+                            cur = step_left(pc, &cur, k, col);
+                            col = pc.up(col);
+                            produced.push((k, col, probe_wrapped(k, cur.clone())?));
+                        }
+                        let mut cur = g_seed.clone();
+                        let mut col = l;
+                        for _ in 0..down_steps {
+                            cur = step_right(pc, &factors, &cur, k, col);
+                            col = pc.down(col);
+                            produced.push((k, col, probe_wrapped(k, cur.clone())?));
+                        }
+                    } else {
+                        // Walk up then down along block column ℓ.
+                        let mut cur = g_seed.clone();
+                        let mut row = k;
+                        for _ in 0..up_steps {
+                            cur = step_up(pc, &factors, &cur, row, l);
+                            row = pc.up(row);
+                            produced.push((row, l, probe_wrapped(row, cur.clone())?));
+                        }
+                        let mut cur = g_seed.clone();
+                        let mut row = k;
+                        for _ in 0..down_steps {
+                            cur = step_down(pc, &cur, row, l);
+                            row = pc.down(row);
+                            produced.push((row, l, probe_wrapped(row, cur.clone())?));
+                        }
                     }
-                    let mut cur = g_seed.clone();
-                    let mut col = l;
-                    for _ in 0..down_steps {
-                        cur = step_right(pc, &factors, &cur, k, col);
-                        col = pc.down(col);
-                        produced.push((k, col, cur.clone()));
-                    }
-                } else {
-                    // Walk up then down along block column ℓ.
-                    let mut cur = g_seed.clone();
-                    let mut row = k;
-                    for _ in 0..up_steps {
-                        cur = step_up(pc, &factors, &cur, row, l);
-                        row = pc.up(row);
-                        produced.push((row, l, cur.clone()));
-                    }
-                    let mut cur = g_seed.clone();
-                    let mut row = k;
-                    for _ in 0..down_steps {
-                        cur = step_down(pc, &cur, row, l);
-                        row = pc.down(row);
-                        produced.push((row, l, cur.clone()));
-                    }
-                }
-                produced.push((k, l, g_seed));
-                produced
-            });
+                    produced.push((k, l, probe_wrapped(k, g_seed)?));
+                    Ok(produced)
+                },
+            );
             let mut out = SelectedInverse::new();
             for chunk in results {
-                for (k, l, blk) in chunk {
+                for (k, l, blk) in chunk? {
                     out.insert(k, l, blk);
                 }
             }
-            out
+            Ok(out)
         }
     }
 }
@@ -291,7 +314,7 @@ pub fn wrap_all_diagonals(
     pc: &BlockPCyclic,
     clustered: &Clustered,
     g_reduced: &Matrix,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let seed = |k0: usize| clustered.reduced.dense_block(g_reduced, k0, k0);
     wrap_all_diagonals_with(par, pc, clustered, &seed)
 }
@@ -306,7 +329,7 @@ pub fn wrap_all_diagonals_selected(
     pc: &BlockPCyclic,
     clustered: &Clustered,
     seeds: &SelectedInverse,
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let seed = |k0: usize| {
         seeds
             .get(k0, k0)
@@ -321,31 +344,36 @@ fn wrap_all_diagonals_with(
     pc: &BlockPCyclic,
     clustered: &Clustered,
     seed: &(dyn Fn(usize) -> Matrix + Sync),
-) -> SelectedInverse {
+) -> FsiResult<SelectedInverse> {
     let b = clustered.b();
     let c = clustered.c;
     let factors = BlockFactors::new(pc);
-    let results = fsi_runtime::parallel_map(par, b, Schedule::Dynamic(1), |k0| {
-        let mut produced = Vec::with_capacity(c);
-        let k = clustered.to_original(k0);
-        let mut cur = seed(k0);
-        produced.push((k, cur.clone()));
-        let mut row = k;
-        for _ in 0..c - 1 {
-            let below = step_down(pc, &cur, row, row);
-            cur = step_right(pc, &factors, &below, pc.down(row), row);
-            row = pc.down(row);
-            produced.push((row, cur.clone()));
-        }
-        produced
-    });
+    let results = fsi_runtime::parallel_map(
+        par,
+        b,
+        Schedule::Dynamic(1),
+        |k0| -> Result<Vec<(usize, Matrix)>, HealthEvent> {
+            let mut produced = Vec::with_capacity(c);
+            let k = clustered.to_original(k0);
+            let mut cur = seed(k0);
+            produced.push((k, probe_wrapped(k, cur.clone())?));
+            let mut row = k;
+            for _ in 0..c - 1 {
+                let below = step_down(pc, &cur, row, row);
+                cur = step_right(pc, &factors, &below, pc.down(row), row);
+                row = pc.down(row);
+                produced.push((row, probe_wrapped(row, cur.clone())?));
+            }
+            Ok(produced)
+        },
+    );
     let mut out = SelectedInverse::new();
     for chunk in results {
-        for (k, blk) in chunk {
+        for (k, blk) in chunk? {
             out.insert(k, k, blk);
         }
     }
-    out
+    Ok(out)
 }
 
 /// Closed-form flop count of the wrapping stage for the columns/rows
@@ -428,7 +456,7 @@ mod tests {
         let sel = Selection::new(pattern, c, q);
         let clustered = cls(Par::Seq, Par::Seq, &pc, c, q);
         let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
-        let result = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
+        let result = wrap(Par::Seq, &pc, &clustered, &g_red, &sel).expect("healthy");
         let want_coords = sel.coordinates(l);
         assert_eq!(result.len(), want_coords.len(), "{pattern:?} block count");
         let g_ref = pc.reference_green(Par::Seq);
@@ -481,8 +509,8 @@ mod tests {
         let sel = Selection::new(Pattern::Columns, 4, 1);
         let clustered = cls(Par::Seq, Par::Seq, &pc, 4, 1);
         let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
-        let seq = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
-        let par = wrap(Par::Pool(&pool), &pc, &clustered, &g_red, &sel);
+        let seq = wrap(Par::Seq, &pc, &clustered, &g_red, &sel).expect("healthy");
+        let par = wrap(Par::Pool(&pool), &pc, &clustered, &g_red, &sel).expect("healthy");
         assert_eq!(seq.len(), par.len());
         for (coord, blk) in seq.iter() {
             let other = par.get(coord.0, coord.1).expect("same coords");
@@ -496,7 +524,7 @@ mod tests {
             let pc = random_pcyclic(3, l, (l * 7 + c) as u64);
             let clustered = cls(Par::Seq, Par::Seq, &pc, c, q);
             let g_red = crate::bsofi::bsofi(Par::Seq, Par::Seq, &clustered.reduced);
-            let diags = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red);
+            let diags = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red).expect("healthy");
             assert_eq!(diags.len(), l);
             let g_ref = pc.reference_green(Par::Seq);
             for k in 0..l {
@@ -519,19 +547,21 @@ mod tests {
             Par::Seq,
             &clustered.reduced,
             &SelectedPattern::Diagonals,
-        );
+        )
+        .expect("healthy");
         for pattern in [Pattern::Diagonal, Pattern::SubDiagonal] {
             let sel = Selection::new(pattern, 4, 1);
-            let dense = wrap(Par::Seq, &pc, &clustered, &g_red, &sel);
-            let sparse = wrap_selected(Par::Seq, &pc, &clustered, &seeds, &sel);
+            let dense = wrap(Par::Seq, &pc, &clustered, &g_red, &sel).expect("healthy");
+            let sparse = wrap_selected(Par::Seq, &pc, &clustered, &seeds, &sel).expect("healthy");
             assert_eq!(dense.len(), sparse.len(), "{pattern:?}");
             for (coord, blk) in dense.iter() {
                 let other = sparse.get(coord.0, coord.1).expect("same coords");
                 assert!(rel_error(blk, other) < 1e-12, "{pattern:?} {coord:?}");
             }
         }
-        let dense_d = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red);
-        let sparse_d = wrap_all_diagonals_selected(Par::Seq, &pc, &clustered, &seeds);
+        let dense_d = wrap_all_diagonals(Par::Seq, &pc, &clustered, &g_red).expect("healthy");
+        let sparse_d =
+            wrap_all_diagonals_selected(Par::Seq, &pc, &clustered, &seeds).expect("healthy");
         assert_eq!(dense_d.len(), sparse_d.len());
         for (coord, blk) in dense_d.iter() {
             let other = sparse_d.get(coord.0, coord.1).expect("same coords");

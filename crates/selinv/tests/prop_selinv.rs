@@ -77,7 +77,7 @@ proptest! {
         let mut patterns = vec![SelectedPattern::Diagonals, SelectedPattern::Full];
         patterns.push(SelectedPattern::DiagonalBlock(seed as usize % b));
         for pattern in patterns {
-            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern);
+            let sel = bsofi_selected(Par::Seq, Par::Seq, &pc, &pattern).expect("healthy");
             let coords = pattern.coordinates(b);
             prop_assert_eq!(sel.len(), coords.len());
             for (k, l) in coords {
@@ -134,7 +134,8 @@ proptest! {
         let pc = fsi_pcyclic::random_pcyclic(2, l, seed);
         let q = seed as usize % c;
         let (merged, _) =
-            fsi_selinv::fsi::fsi_measurement_set(fsi_selinv::Parallelism::Serial, &pc, c, q);
+            fsi_selinv::fsi::fsi_measurement_set(fsi_selinv::Parallelism::Serial, &pc, c, q)
+                .expect("healthy");
         for tau in 0..l {
             let covered = (0..l).any(|k| {
                 let ell = (k + l - tau) % l;

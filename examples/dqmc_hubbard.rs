@@ -37,7 +37,7 @@ fn main() {
         cfg.warmup, cfg.measurements
     );
 
-    let results = run(&cfg, Parallelism::Serial);
+    let results = run(&cfg, Parallelism::Serial).expect("healthy");
 
     println!("observable            mean        stderr");
     println!(

@@ -29,7 +29,7 @@ fn main() {
             pattern: Pattern::Columns,
             seed: 99,
         };
-        let r = run_multi(&builder, &cfg, &trace_measure);
+        let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
         println!(
             "{:>6} {:>9} {:>12.3} {:>14.6} {:>12}",
             ranks, threads, r.seconds, r.global_measurements[0], r.global_measurements[1]

@@ -38,7 +38,7 @@ fn main() {
     // FSI: b = L/c block columns of G = M⁻¹.
     let selection = Selection::new(Pattern::Columns, c, 3);
     let sw = Stopwatch::start();
-    let out = fsi_with_q(Parallelism::Serial, &m, &selection);
+    let out = fsi_with_q(Parallelism::Serial, &m, &selection).expect("healthy");
     let fsi_time = sw.seconds();
     println!(
         "\nFSI selected {} blocks ({} block columns) in {:.3}s",

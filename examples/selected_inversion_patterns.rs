@@ -32,7 +32,7 @@ fn main() {
 
         let span = trace::span("fsi-run");
         let sw = Stopwatch::start();
-        let out = fsi_with_q(Parallelism::Serial, &m, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &m, &sel).expect("healthy");
         let fsi_secs = sw.seconds();
         let fsi_gflop = span.finish().flops as f64 / 1e9;
 

@@ -36,7 +36,7 @@ fn main() {
             delay: 8,
             seed: 4242,
         };
-        let r = run(&cfg, Parallelism::Serial);
+        let r = run(&cfg, Parallelism::Serial).expect("healthy");
         println!(
             "{:>6.1} {:>6} {:>10.4} {:>12.4} {:>12.4} {:>12.4} {:>10.3}",
             beta,

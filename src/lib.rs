@@ -34,7 +34,7 @@
 //!
 //! // Select b = L/c = 2 block columns of the Green's function G = M⁻¹.
 //! let selection = Selection::new(Pattern::Columns, 4, 1);
-//! let out = fsi_with_q(Parallelism::Serial, &m, &selection);
+//! let out = fsi_with_q(Parallelism::Serial, &m, &selection).expect("healthy");
 //! assert_eq!(out.selected.len(), 2 * 8);
 //! ```
 pub use fsi_dense as dense;

@@ -142,9 +142,10 @@ fn sweep_spans_fire_and_cache_flops_match_the_incremental_model() {
     trace::set_level(TraceLevel::Stages);
     trace::clear();
     // Cold build (traced) + one sweep whose start-of-sweep refresh is warm.
-    let mut s = Sweeper::new(&builder, field, SweepConfig::default());
+    let mut s = Sweeper::new(&builder, field, SweepConfig::default()).expect("healthy");
     let mut sweep_rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
-    s.sweep(&mut sweep_rng, Parallelism::Serial);
+    s.sweep(&mut sweep_rng, Parallelism::Serial)
+        .expect("healthy");
     let report = RunReport::capture("sweep-observability");
     trace::set_level(TraceLevel::Off);
     trace::clear();
@@ -213,5 +214,63 @@ fn ndjson_report_round_trips_through_a_file() {
         .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
         .count();
     assert_eq!(span_events, report.spans.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected fault shows up in the exporter: the probe's `health.*`
+/// marker and every ladder rung's `recovery.*` span survive the NDJSON
+/// round trip, so a trace of a degraded run shows exactly what recovered.
+#[cfg(feature = "fault-inject")]
+#[test]
+fn health_and_recovery_spans_reach_the_ndjson_exporter() {
+    use fsi::runtime::health::inject::{self, FaultKind, Site, ANY_BLOCK};
+    use fsi::runtime::health::Stage;
+
+    let _inject_lock = inject::test_lock();
+    let report = {
+        let _lock = trace::test_lock();
+        let builder = BlockBuilder::new(
+            SquareLattice::square(2),
+            HubbardParams {
+                t: 1.0,
+                u: 4.0,
+                beta: 2.0,
+                l: 8,
+            },
+        );
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(33);
+        let field = HsField::random(8, 4, &mut rng);
+        trace::set_level(TraceLevel::Stages);
+        trace::clear();
+        inject::arm(Site {
+            stage: Stage::Cls,
+            block: ANY_BLOCK,
+            kind: FaultKind::Nan,
+        });
+        let s = Sweeper::new(&builder, field, SweepConfig::default());
+        let fired = inject::disarm();
+        let report = RunReport::capture("recovery-observability");
+        trace::set_level(TraceLevel::Off);
+        trace::clear();
+        s.expect("rung 1 absorbs a one-shot fault");
+        assert!(fired > 0, "fault never fired");
+        report
+    };
+    assert!(
+        report.count_of("health.non_finite") > 0,
+        "probe marker missing from trace"
+    );
+    assert!(
+        report.count_of("recovery.invalidate_caches") > 0,
+        "recovery rung span missing from trace"
+    );
+
+    let dir = std::env::temp_dir().join("fsi-recovery-observability-test");
+    let path = dir.join("recovery.trace.ndjson");
+    report.write_ndjson(&path).expect("write ndjson");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let parsed = RunReport::parse_ndjson(&text).expect("parse ndjson");
+    assert!(parsed.count_of("health.non_finite") > 0);
+    assert!(parsed.count_of("recovery.invalidate_caches") > 0);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -23,10 +23,10 @@ fn dqmc_runs_identically_under_all_parallel_modes() {
         delay: 1,
         seed: 77,
     };
-    let serial = run(&cfg, Parallelism::Serial);
+    let serial = run(&cfg, Parallelism::Serial).expect("healthy");
     let pool = ThreadPool::new(3);
-    let omp = run(&cfg, Parallelism::OpenMp(&pool));
-    let mkl = run(&cfg, Parallelism::MklStyle(&pool));
+    let omp = run(&cfg, Parallelism::OpenMp(&pool)).expect("healthy");
+    let mkl = run(&cfg, Parallelism::MklStyle(&pool)).expect("healthy");
     for other in [&omp, &mkl] {
         assert!((serial.density.mean() - other.density.mean()).abs() < 1e-9);
         assert!((serial.moment.mean() - other.moment.mean()).abs() < 1e-9);
@@ -53,14 +53,14 @@ fn multi_matrix_reduction_is_invariant_to_topology() {
         pattern: Pattern::Rows,
         seed: 31,
     };
-    let reference = run_multi(&builder, &base, &trace_measure);
+    let reference = run_multi(&builder, &base, &trace_measure).expect("healthy");
     for (ranks, threads) in [(2usize, 1usize), (3, 2), (6, 1), (1, 4)] {
         let cfg = MultiConfig {
             ranks,
             threads_per_rank: threads,
             ..base.clone()
         };
-        let r = run_multi(&builder, &cfg, &trace_measure);
+        let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
         for (a, b) in reference
             .global_measurements
             .iter()
@@ -113,7 +113,8 @@ fn flop_accounting_spans_the_whole_pipeline() {
         Parallelism::Serial,
         &pc,
         &Selection::new(Pattern::Columns, 4, 1),
-    );
+    )
+    .expect("healthy");
     let counted = span.finish().flops;
     fsi::runtime::trace::set_level(fsi::runtime::TraceLevel::Off);
     fsi::runtime::trace::clear();

@@ -112,8 +112,10 @@ proptest! {
             let pc = hubbard_pcyclic(&builder, &field, Spin::Up);
             let k = 3; // fixed residue mod c: the cacheable regime
             let got = equal_time_green_cached(
-                Par::Seq, Par::Seq, pc.blocks(), &dirty, &mut cache, k, c);
-            let want = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, c);
+                Par::Seq, Par::Seq, pc.blocks(), &dirty, &mut cache, k, c)
+                .expect("healthy");
+            let want = equal_time_green_stable(Par::Seq, Par::Seq, &pc, k, c)
+                .expect("healthy");
             prop_assert_eq!(got.as_slice(), want.as_slice());
         }
     }
@@ -130,9 +132,9 @@ proptest! {
             HsField::random(l, 4, &mut rng)
         };
         let run = |par: Parallelism<'_>| {
-            let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default());
+            let mut s = Sweeper::new(&builder, field.clone(), SweepConfig::default()).expect("healthy");
             let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xD5);
-            let stats = s.sweep(&mut rng, par);
+            let stats = s.sweep(&mut rng, par).expect("healthy");
             (stats.accepted, s.field().to_flat(),
              s.green(Spin::Up).clone(), s.green(Spin::Down).clone())
         };

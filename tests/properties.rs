@@ -31,7 +31,7 @@ proptest! {
     fn fsi_matches_dense_reference((n, l, c, q, pattern, seed) in fsi_config()) {
         let pc = random_pcyclic(n, l, seed);
         let sel = Selection::new(pattern, c, q);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let reference = full_inverse_selected(Par::Seq, &pc, &sel);
         let err = max_block_error(&out.selected, &reference);
         prop_assert!(err < 1e-8, "(n={n}, l={l}, c={c}, q={q}, {pattern:?}): {err}");
@@ -103,7 +103,7 @@ proptest! {
         let pattern = Pattern::ALL[pat_idx];
         let pc = random_pcyclic(n, l, 7);
         let sel = Selection::new(pattern, c, 0);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         prop_assert_eq!(out.selected.bytes(), pattern.n_blocks(l, c) * n * n * 8);
     }
 }

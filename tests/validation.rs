@@ -23,7 +23,7 @@ fn paper_validation_shape_mean_error_below_1e10() {
     // scaled-down matrix of the same family.
     let pc = validation_matrix(16, Spin::Up, 1);
     let sel = Selection::new(Pattern::Columns, 4, 2);
-    let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+    let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
     let reference = full_inverse_selected(Par::Seq, &pc, &sel);
     let mean = mean_block_error(&out.selected, &reference);
     assert!(mean < 1e-10, "mean relative error {mean} >= 1e-10");
@@ -35,7 +35,7 @@ fn all_patterns_validate_for_both_spins() {
         let pc = validation_matrix(12, spin, 2);
         for pattern in Pattern::ALL {
             let sel = Selection::new(pattern, 4, 1);
-            let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+            let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
             let reference = full_inverse_selected(Par::Seq, &pc, &sel);
             let err = max_block_error(&out.selected, &reference);
             assert!(err < 1e-10, "{spin:?} {pattern:?}: {err}");
@@ -48,7 +48,7 @@ fn every_shift_q_validates() {
     let pc = validation_matrix(12, Spin::Down, 3);
     for q in 0..4 {
         let sel = Selection::new(Pattern::Columns, 4, q);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let reference = full_inverse_selected(Par::Seq, &pc, &sel);
         let err = max_block_error(&out.selected, &reference);
         assert!(err < 1e-10, "q={q}: {err}");
@@ -62,7 +62,7 @@ fn extreme_cluster_sizes_validate() {
     // cases of the algorithm.
     for c in [1usize, 2, 3, 6, 12] {
         let sel = Selection::new(Pattern::Columns, c, c - 1);
-        let out = fsi_with_q(Parallelism::Serial, &pc, &sel);
+        let out = fsi_with_q(Parallelism::Serial, &pc, &sel).expect("healthy");
         let reference = full_inverse_selected(Par::Seq, &pc, &sel);
         let err = max_block_error(&out.selected, &reference);
         assert!(err < 1e-9, "c={c}: {err}");
