@@ -13,28 +13,38 @@
 # regressions still fail this script — but a *slow* machine does not:
 # throughput numbers are recorded, never compared against a threshold.
 #
+# After the benches run, the perf-regression sentinel (bench_report)
+# compares the fresh artifacts against results/baselines/ and appends a
+# row to results/BENCH_history.jsonl. By default the sentinel only
+# *warns* (timing noise must never fail the smoke lane by accident);
+# pass --gate to make a sentinel regression fail this script. Missing
+# baselines are seeded from the fresh run.
+#
 # Usage: ci/bench_smoke.sh [--label=NAME] [--out=PATH] [--sweep-out=PATH]
-#   [sizes=64,128,256] ...
-# Args other than --sweep-out pass through to bench_smoke; bench_sweep gets
-# the --label plus --sweep-out as its --out (default: --out with a .sweep
-# suffix, or results/BENCH_sweep.json).
+#   [--gate] [sizes=64,128,256] ...
+# Args other than --sweep-out/--gate pass through to bench_smoke;
+# bench_sweep gets the --label plus --sweep-out as its --out (default:
+# --out with a .sweep suffix, or results/BENCH_sweep.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SMOKE_ARGS=()
 SWEEP_OUT=""
+KERNELS_OUT=""
 LABEL_ARG=""
+GATE=0
 for arg in "$@"; do
   case "$arg" in
     --sweep-out=*) SWEEP_OUT="${arg#--sweep-out=}" ;;
+    --gate) GATE=1 ;;
     --label=*)
       LABEL_ARG="$arg"
       SMOKE_ARGS+=("$arg")
       ;;
     --out=*)
+      KERNELS_OUT="${arg#--out=}"
       if [ -z "$SWEEP_OUT" ]; then
-        SWEEP_OUT="${arg#--out=}"
-        SWEEP_OUT="${SWEEP_OUT%.json}.sweep.json"
+        SWEEP_OUT="${KERNELS_OUT%.json}.sweep.json"
       fi
       SMOKE_ARGS+=("$arg")
       ;;
@@ -70,3 +80,15 @@ cargo build --offline --release -p fsi-bench --bin fault_drill \
 echo "== bench_bsofi (non-gating) =="
 ./target/release/bench_bsofi ${LABEL_ARG:+"$LABEL_ARG"} || \
   echo "bench_bsofi failed (non-gating), continuing"
+
+# Perf-regression sentinel: compare the fresh artifacts against the
+# checked-in baselines, append the trajectory row, seed any missing
+# baseline. --smoke skips families whose artifact was not produced in
+# this lane (e.g. validate.json).
+echo "== bench_report (perf-regression sentinel) =="
+cargo build --offline --release -p fsi-bench --bin bench_report
+REPORT_ARGS=(--smoke --seed "--fresh=sweep:$SWEEP_OUT")
+[ -n "$KERNELS_OUT" ] && REPORT_ARGS+=("--fresh=kernels:$KERNELS_OUT")
+[ -n "$LABEL_ARG" ] && REPORT_ARGS+=("$LABEL_ARG")
+[ "$GATE" -eq 1 ] || REPORT_ARGS+=(--warn-only)
+./target/release/bench_report "${REPORT_ARGS[@]}"

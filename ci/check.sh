@@ -34,6 +34,16 @@ if [[ $quick -eq 0 ]]; then
   echo "== cargo test --features fault-inject =="
   cargo test --offline --workspace -q --features fault-inject
 
+  # Metrics-enabled lane: the always-on registry and flight recorder are
+  # exercised with stage tracing live and a real dump directory, so the
+  # span→flight wiring and incident-dump file path run inside the test
+  # suite instead of only in production incidents.
+  echo "== cargo test (metrics lane: FSI_TRACE=stages + flight dir) =="
+  FLIGHT_DIR="$(mktemp -d)"
+  FSI_TRACE=stages FSI_FLIGHT_DIR="$FLIGHT_DIR" \
+    cargo test --offline -q -p fsi-runtime -p fsi-dqmc
+  rm -rf "$FLIGHT_DIR"
+
   # The checked profile keeps release optimization but turns debug
   # assertions and overflow checks back on — numeric guardrail bugs that
   # only trip under assertions surface here.

@@ -1,0 +1,229 @@
+//! CI perf-regression sentinel: compares fresh benchmark artifacts
+//! against checked-in baselines and appends a trajectory row to
+//! `results/BENCH_history.jsonl`.
+//!
+//! The comparison logic (metric extraction, per-family policies,
+//! median-of-k, verdicts) lives in [`fsi_bench::sentinel`]; this binary
+//! is file plumbing and reporting.
+//!
+//! Usage:
+//! ```text
+//! bench_report [--baseline-dir=results/baselines] [--fresh-dir=results]
+//!              [--fresh=FAMILY:PATH]...   # repeatable: k samples => median-of-k
+//!              [--history=results/BENCH_history.jsonl] [--no-history]
+//!              [--label=NAME] [--smoke] [--warn-only] [--seed]
+//! ```
+//!
+//! * `--smoke`: silently skip families whose fresh artifact is missing
+//!   (CI smoke lane, where only a subset of benches has run).
+//! * `--seed`: families with a fresh artifact but no baseline have the
+//!   fresh artifact copied into the baseline dir instead of comparing.
+//! * `--warn-only`: report regressions but exit 0 (default CI posture;
+//!   the gating lane passes `--gate` via `ci/bench_smoke.sh`, which
+//!   simply omits `--warn-only`).
+//!
+//! Exit status: 0 clean or warn-only, 1 on any regression, 2 on a
+//! usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::SystemTime;
+
+use fsi_bench::sentinel::{
+    self, extract, family_file, history_row, median_of_k, Comparison, FamilyReport, Verdict,
+};
+use fsi_bench::Args;
+use fsi_runtime::trace::Json;
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: parse error: {e}", path.display()))
+}
+
+fn verdict_tag(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Ok => "ok",
+        Verdict::Improved => "IMPROVED",
+        Verdict::Regressed => "REGRESSED",
+        Verdict::New => "new",
+    }
+}
+
+fn print_family(family: &str, comparisons: &[Comparison]) {
+    println!("\n[{family}]");
+    println!(
+        "  {:<44} {:>14} {:>14}  verdict",
+        "metric", "baseline", "fresh"
+    );
+    for c in comparisons {
+        let base = c
+            .baseline
+            .map(|b| format!("{b:.6}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:<44} {:>14} {:>14.6}  {}",
+            c.name,
+            base,
+            c.fresh,
+            verdict_tag(c.verdict)
+        );
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = Args::parse();
+    let baseline_dir = PathBuf::from(
+        args.flag_value("baseline-dir")
+            .unwrap_or("results/baselines"),
+    );
+    let fresh_dir = PathBuf::from(args.flag_value("fresh-dir").unwrap_or("results"));
+    let history_path = PathBuf::from(
+        args.flag_value("history")
+            .unwrap_or("results/BENCH_history.jsonl"),
+    );
+    let label = args.flag_value("label").unwrap_or("current").to_string();
+    let smoke = args.flag("smoke");
+    let warn_only = args.flag("warn-only");
+    let seed = args.flag("seed");
+    // Explicit fresh samples: --fresh=family:path, repeatable.
+    let explicit: Vec<(&str, &str)> = args
+        .flag_values("fresh")
+        .into_iter()
+        .filter_map(|v| v.split_once(':'))
+        .collect();
+
+    let mut reports: Vec<FamilyReport> = Vec::new();
+    for family in sentinel::FAMILIES {
+        let file = family_file(family);
+        let fresh_paths: Vec<PathBuf> = {
+            let named: Vec<PathBuf> = explicit
+                .iter()
+                .filter(|(f, _)| *f == family)
+                .map(|(_, p)| PathBuf::from(p))
+                .collect();
+            if named.is_empty() {
+                vec![fresh_dir.join(file)]
+            } else {
+                named
+            }
+        };
+        if fresh_paths.iter().any(|p| !p.exists()) {
+            if smoke {
+                println!("[{family}] fresh artifact missing, skipped (--smoke)");
+                reports.push(FamilyReport {
+                    family: family.to_string(),
+                    status: "skipped".into(),
+                    comparisons: Vec::new(),
+                });
+                continue;
+            }
+            return Err(format!(
+                "{family}: fresh artifact {} missing (pass --smoke to skip)",
+                fresh_paths
+                    .iter()
+                    .find(|p| !p.exists())
+                    .expect("one missing")
+                    .display()
+            ));
+        }
+        let samples = fresh_paths
+            .iter()
+            .map(|p| load(p).and_then(|doc| extract(family, &doc)))
+            .collect::<Result<Vec<_>, _>>()?;
+        let k = samples.len();
+        let fresh = median_of_k(samples);
+        if k > 1 {
+            println!("[{family}] median of {k} fresh samples");
+        }
+
+        let baseline_path = baseline_dir.join(file);
+        if !baseline_path.exists() {
+            if seed {
+                std::fs::create_dir_all(&baseline_dir)
+                    .map_err(|e| format!("{}: {e}", baseline_dir.display()))?;
+                std::fs::copy(&fresh_paths[0], &baseline_path)
+                    .map_err(|e| format!("seed {}: {e}", baseline_path.display()))?;
+                println!("[{family}] no baseline: seeded {}", baseline_path.display());
+                reports.push(FamilyReport {
+                    family: family.to_string(),
+                    status: "seeded".into(),
+                    comparisons: Vec::new(),
+                });
+                continue;
+            }
+            println!(
+                "[{family}] no baseline at {} (all metrics 'new'; pass --seed to create one)",
+                baseline_path.display()
+            );
+        }
+        let baseline = if baseline_path.exists() {
+            let doc = load(&baseline_path)?;
+            extract(family, &doc)?
+        } else {
+            Vec::new()
+        };
+        let comparisons = sentinel::compare(&baseline, &fresh);
+        print_family(family, &comparisons);
+        reports.push(FamilyReport {
+            family: family.to_string(),
+            status: "compared".into(),
+            comparisons,
+        });
+    }
+
+    let unix_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let row = history_row(&label, unix_ms, &reports);
+    if !args.flag("no-history") {
+        if let Some(dir) = history_path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&history_path)
+            .map_err(|e| format!("{}: {e}", history_path.display()))?;
+        writeln!(f, "{row}").map_err(|e| format!("{}: {e}", history_path.display()))?;
+        println!("\nappended history row to {}", history_path.display());
+    }
+
+    let regressions: Vec<String> = reports
+        .iter()
+        .flat_map(|r| {
+            let fam = r.family.clone();
+            r.regressions()
+                .into_iter()
+                .map(move |m| format!("{fam}:{m}"))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    if regressions.is_empty() {
+        println!("\nsentinel: no regressions");
+        Ok(true)
+    } else {
+        println!("\nsentinel: {} regression(s):", regressions.len());
+        for r in &regressions {
+            println!("  {r}");
+        }
+        if warn_only {
+            println!("(--warn-only: not gating)");
+        }
+        Ok(warn_only)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("bench_report: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -241,6 +241,47 @@ fn main() {
     print_record(&r_par);
     let spin_par_speedup = r_serial.seconds / r_par.seconds;
 
+    // --- Always-on metrics cost: the same serial sweep with the metrics
+    // registry enabled vs. globally disabled. Paired-ratio estimator (the
+    // method the fault drill uses for health probes): each sample is an
+    // on-run and an off-run back to back in alternating order, so clock
+    // and thermal drift hit both sides of a pair almost equally and
+    // cancel in the ratio; the median discards pairs a scheduling spike
+    // split. The <2% bound is the PR-6 acceptance criterion for leaving
+    // the registry on in release builds.
+    let metrics_overhead_pct = {
+        let batch = |on: bool| {
+            fsi_runtime::metrics::set_enabled(on);
+            let sw = Stopwatch::start();
+            sweep_once(Parallelism::Serial);
+            let s = sw.seconds();
+            fsi_runtime::metrics::set_enabled(true);
+            s
+        };
+        batch(true);
+        batch(false); // warm-up: one of each configuration
+        let mut ratios = Vec::new();
+        let mut flip = false;
+        while ratios.len() < 9 {
+            let (on, off) = if flip {
+                let off = batch(false);
+                (batch(true), off)
+            } else {
+                (batch(true), batch(false))
+            };
+            ratios.push((on - off) / off * 100.0);
+            flip = !flip;
+        }
+        ratios.sort_by(f64::total_cmp);
+        ratios[ratios.len() / 2]
+    };
+    println!("metrics overhead (paired-ratio, serial sweep): {metrics_overhead_pct:+.2}%");
+    assert!(
+        metrics_overhead_pct < 2.0,
+        "always-on metrics must cost < 2% on the sweep hot path \
+         (measured {metrics_overhead_pct:+.2}%)"
+    );
+
     println!(
         "\nwrap speedups vs dense: factored {factored_speedup:.2}x, checkerboard {cb_speedup:.2}x"
     );
@@ -293,6 +334,10 @@ fn main() {
                     Json::Num(records[3].seconds / records[4].seconds),
                 ),
                 ("spin_par_sweep_speedup".into(), Json::Num(spin_par_speedup)),
+                (
+                    "metrics_overhead_pct".into(),
+                    Json::Num(metrics_overhead_pct),
+                ),
                 ("cache_warm_hits".into(), Json::Int(h1 - h0)),
                 ("cache_warm_misses".into(), Json::Int(m1 - m0)),
                 ("cache_cold_misses".into(), Json::Int(cold_products)),

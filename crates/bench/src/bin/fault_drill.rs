@@ -318,6 +318,48 @@ fn main() {
         if sticky_ok { "" } else { "  <-- FAIL" }
     );
 
+    // --- Flight recorder drill: with stage tracing on, a detected fault
+    // must leave an in-memory incident dump holding the most recent spans
+    // (the ring is process-wide, so a preceding clean traced run
+    // legitimately populates it) and naming the faulted stage in the
+    // health event line. This is the PR-6 acceptance criterion for the
+    // flight recorder.
+    let prior = fsi_runtime::trace::level();
+    fsi_runtime::trace::set_level(fsi_runtime::TraceLevel::Stages);
+    fsi_runtime::trace::clear();
+    fsi_runtime::metrics::flight::clear();
+    run_workload().expect("clean traced run is healthy");
+    inject::arm(Site {
+        stage: Stage::Cls,
+        block: ANY_BLOCK,
+        kind: FaultKind::Nan,
+    });
+    let flight_run = run_workload();
+    inject::disarm();
+    fsi_runtime::trace::set_level(prior);
+    fsi_runtime::trace::clear();
+    assert!(flight_run.is_ok(), "flight drill run must still recover");
+    let dump = fsi_runtime::metrics::flight::last_dump()
+        .expect("a health event must trigger an incident dump");
+    let span_lines = dump
+        .lines()
+        .filter(|l| l.contains("\"type\":\"span\""))
+        .count();
+    assert!(
+        span_lines >= 32,
+        "incident dump must hold >= 32 recent spans (got {span_lines})"
+    );
+    assert!(
+        dump.contains("\"name\":\"health.non_finite\"") && dump.contains("\"stage\":\"cls\""),
+        "incident dump must name the faulted stage's health event"
+    );
+    assert!(
+        dump.lines()
+            .any(|l| l.contains("\"type\":\"span\"") && l.contains("\"name\":\"cls")),
+        "incident dump must include spans of the faulted stage"
+    );
+    println!("flight recorder: incident dump holds {span_lines} spans incl. faulted stage (cls)");
+
     let overhead = probe_overhead_pct(if smoke { 0.3 } else { 2.0 });
     println!("clean-path probe overhead: {overhead:.3}%");
 
@@ -349,6 +391,7 @@ fn main() {
             Json::Arr(sticky_rungs.iter().map(|&r| Json::Int(r)).collect()),
         ),
         ("probe_overhead_pct".into(), Json::Num(overhead)),
+        ("flight_dump_spans".into(), Json::Int(span_lines as u64)),
         ("per_site".into(), Json::Arr(per_site)),
     ]);
     if let Some(dir) = std::path::Path::new(&out).parent() {

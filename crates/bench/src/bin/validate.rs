@@ -150,6 +150,73 @@ fn main() {
 
     let pass = mean < 1e-10 && cls_ok && bsofi_ok && wrap_ok;
     println!("\nvalidation: {}", if pass { "PASSED" } else { "FAILED" });
+
+    // Machine-readable artifact for the regression sentinel (schema in
+    // results/schema.md, "validate.json").
+    let out_path = args.flag_value("out").unwrap_or("results/validate.json");
+    let stages = ["cls", "bsofi", "wrap"]
+        .iter()
+        .map(|stage| {
+            let secs = report.seconds_of(stage);
+            let flops = report.flops_of(stage);
+            trace::Json::Obj(vec![
+                ("name".into(), trace::Json::Str(stage.to_string())),
+                ("seconds".into(), trace::Json::Num(secs)),
+                (
+                    "gflops".into(),
+                    trace::Json::Num(if secs > 0.0 {
+                        flops as f64 / secs / 1e9
+                    } else {
+                        0.0
+                    }),
+                ),
+                ("flops".into(), trace::Json::Int(flops)),
+            ])
+        })
+        .collect();
+    let json = trace::Json::Obj(vec![
+        ("kind".into(), trace::Json::Str("validate".into())),
+        ("schema".into(), trace::Json::Int(1)),
+        (
+            "label".into(),
+            trace::Json::Str(args.flag_value("label").unwrap_or("current").into()),
+        ),
+        (
+            "unix_ms".into(),
+            trace::Json::Int(
+                std::time::SystemTime::now()
+                    .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0),
+            ),
+        ),
+        (
+            "shape".into(),
+            trace::Json::Obj(vec![
+                ("N".into(), trace::Json::Int(n as u64)),
+                ("L".into(), trace::Json::Int(l as u64)),
+                ("c".into(), trace::Json::Int(c as u64)),
+                ("q".into(), trace::Json::Int(q as u64)),
+            ]),
+        ),
+        (
+            "summary".into(),
+            trace::Json::Obj(vec![
+                ("mean_error".into(), trace::Json::Num(mean)),
+                ("max_error".into(), trace::Json::Num(max)),
+                ("passed".into(), trace::Json::Bool(pass)),
+                ("cls_flops_exact".into(), trace::Json::Bool(cls_ok)),
+            ]),
+        ),
+        ("stages".into(), trace::Json::Arr(stages)),
+    ]);
+    if let Some(dir) = std::path::Path::new(out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(out_path, json.to_string()).expect("write validate json");
+    println!("wrote {out_path}");
     if !pass {
         std::process::exit(1);
     }

@@ -20,6 +20,8 @@
 //! Criterion micro-benchmarks live in `benches/` (dense kernels, FSI
 //! stages, and the three ablations called out in DESIGN.md).
 
+pub mod sentinel;
+
 use std::collections::HashMap;
 
 use fsi_pcyclic::BlockPCyclic;
@@ -68,6 +70,14 @@ impl Args {
         self.flags
             .iter()
             .find_map(|f| f.strip_prefix(name).and_then(|r| r.strip_prefix('=')))
+    }
+
+    /// Every value of a repeatable `--name=value` flag, in order.
+    pub fn flag_values(&self, name: &str) -> Vec<&str> {
+        self.flags
+            .iter()
+            .filter_map(|f| f.strip_prefix(name).and_then(|r| r.strip_prefix('=')))
+            .collect()
     }
 
     /// `key=value` as usize, with a default.

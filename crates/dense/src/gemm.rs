@@ -173,13 +173,25 @@ fn gemm_op_impl(
 
     // Open before charging so the flops land on this kernel's span (the
     // guard is a no-op below FSI_TRACE=2).
-    let _kernel = if count {
+    static METER: fsi_runtime::metrics::Meter = fsi_runtime::metrics::Meter::new("dense.gemm");
+    let (_kernel, _meter) = if count {
         let kernel = fsi_runtime::trace::kernel_span("gemm");
-        flops::add_flops(flops::counts::gemm(m, n, k));
+        let f = flops::counts::gemm(m, n, k);
+        flops::add_flops(f);
         fsi_runtime::trace::charge_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
-        Some(kernel)
+        // Timed metering only for kernel-sized calls: below ~2·64³ flops
+        // the two `Instant::now()` reads rival the gemm itself (the
+        // delayed-update flushes hit this path), so small calls take the
+        // two-relaxed-adds counter route instead.
+        let meter = if f >= 2 * 64 * 64 * 64 {
+            Some(METER.start(f))
+        } else {
+            METER.observe(f);
+            None
+        };
+        (Some(kernel), meter)
     } else {
-        None
+        (None, None)
     };
 
     let (tm, tn) = thread_grid(par.threads().max(1), m, n);

@@ -41,6 +41,8 @@ pub fn geqrf(a: Matrix) -> QrFactor {
     let (m, n) = (a.rows(), a.cols());
     assert!(m >= n, "geqrf requires m >= n (got {m} x {n})");
     let _kernel = fsi_runtime::trace::kernel_span("geqrf");
+    static METER: fsi_runtime::metrics::Meter = fsi_runtime::metrics::Meter::new("dense.geqrf");
+    let _meter = METER.start(flops::counts::geqrf(m, n));
     flops::add_flops(flops::counts::geqrf(m, n));
     let mut qr = a;
     let mut tau = vec![0.0; n];

@@ -260,10 +260,15 @@ impl<'a> Sweeper<'a> {
     /// ladder failed; the last error is surfaced and also logged in
     /// [`Self::recovery_stats`].
     pub fn refresh(&mut self, slice: usize, par: Parallelism<'_>) -> FsiResult<()> {
-        match self.refresh_once(slice, par) {
+        static REFRESH_NS: fsi_runtime::metrics::LazyHistogram =
+            fsi_runtime::metrics::LazyHistogram::new("dqmc.refresh.ns");
+        let start = std::time::Instant::now();
+        let result = match self.refresh_once(slice, par) {
             Ok(()) => Ok(()),
             Err(e) => self.recover(slice, par, e),
-        }
+        };
+        REFRESH_NS.record(start.elapsed().as_nanos() as u64);
+        result
     }
 
     /// One stabilization attempt, no recovery: the fallible core that both
@@ -331,9 +336,17 @@ impl<'a> Sweeper<'a> {
     /// needed them once will need them again, and a deterministic ladder
     /// must not oscillate.
     fn recover(&mut self, slice: usize, par: Parallelism<'_>, first: FsiError) -> FsiResult<()> {
-        self.recovery.events.push(first);
+        // Each rung is mirrored into the metrics registry and the flight
+        // recorder; note_recovery also triggers an incident dump, so every
+        // escalation ships the ring of spans that led up to it.
+        fn rung(name: &'static str, stage: fsi_runtime::Stage) {
+            fsi_runtime::metrics::counter(name).inc();
+            fsi_runtime::metrics::flight::note_recovery(name, stage.name());
+        }
+        self.recovery.events.push(first.clone());
         {
             let _s = trace::span("recovery.invalidate_caches");
+            rung("dqmc.recovery.invalidate_caches", first.stage());
             self.recovery.cache_invalidations += 1;
             self.invalidate_caches();
         }
@@ -343,6 +356,7 @@ impl<'a> Sweeper<'a> {
         }
         {
             let _s = trace::span("recovery.shrink_cluster");
+            rung("dqmc.recovery.shrink_cluster", first.stage());
             self.recovery.cluster_shrinks += 1;
             self.cfg.c = self.shrunk_cluster_size();
             self.invalidate_caches();
@@ -353,6 +367,7 @@ impl<'a> Sweeper<'a> {
         }
         {
             let _s = trace::span("recovery.dense_wrap");
+            rung("dqmc.recovery.dense_wrap", first.stage());
             self.recovery.dense_fallbacks += 1;
             self.cfg.wrap = WrapStrategy::Dense;
             self.invalidate_caches();
@@ -363,6 +378,7 @@ impl<'a> Sweeper<'a> {
         }
         {
             let _s = trace::span("recovery.from_scratch");
+            rung("dqmc.recovery.from_scratch", first.stage());
             self.recovery.from_scratch += 1;
             self.cfg.incremental = false;
             self.cfg.c = 1;
@@ -371,6 +387,9 @@ impl<'a> Sweeper<'a> {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.recovery.events.push(e.clone());
+                static FAILED: fsi_runtime::metrics::LazyCounter =
+                    fsi_runtime::metrics::LazyCounter::new("dqmc.recovery.failed");
+                FAILED.inc();
                 Err(e)
             }
         }
@@ -585,6 +604,20 @@ impl<'a> Sweeper<'a> {
                     }
                 }
             }
+        }
+        static PROPOSED: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("dqmc.sweep.proposed");
+        static ACCEPTED: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("dqmc.sweep.accepted");
+        static ACCEPTANCE: fsi_runtime::metrics::LazyGauge =
+            fsi_runtime::metrics::LazyGauge::new("dqmc.sweep.acceptance");
+        static MAX_DRIFT: fsi_runtime::metrics::LazyGauge =
+            fsi_runtime::metrics::LazyGauge::new("dqmc.sweep.max_drift");
+        PROPOSED.add(stats.proposed as u64);
+        ACCEPTED.add(stats.accepted as u64);
+        ACCEPTANCE.set(stats.acceptance());
+        if self.cfg.track_drift {
+            MAX_DRIFT.set_max(stats.max_drift);
         }
         Ok(stats)
     }

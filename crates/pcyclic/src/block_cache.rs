@@ -48,10 +48,15 @@ impl BlockCache {
         spin: Spin,
         dirty: &[bool],
     ) -> usize {
+        static REBUILT: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("pcyclic.block_cache.rebuilt");
+        static REUSED: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("pcyclic.block_cache.reused");
         let l = field.slices();
         assert_eq!(dirty.len(), l, "dirty mask length mismatch");
         if self.blocks.len() != l {
             self.blocks = builder.all_blocks(field, spin);
+            REBUILT.add(l as u64);
             return l;
         }
         let mut rebuilt = 0;
@@ -61,6 +66,8 @@ impl BlockCache {
                 rebuilt += 1;
             }
         }
+        REBUILT.add(rebuilt as u64);
+        REUSED.add((l - rebuilt) as u64);
         rebuilt
     }
 

@@ -123,15 +123,26 @@ impl HealthEvent {
         }
     }
 
-    /// Mirrors the event as a zero-duration `health.*` trace span so the
-    /// NDJSON exporter and [`crate::RunReport`] counters see it.
-    pub fn record(&self) {
-        let name = match self {
+    /// Stable `health.*` label for this event kind, matching the
+    /// trace-span and metrics vocabulary.
+    pub fn label(&self) -> &'static str {
+        match self {
             HealthEvent::NonFinite { .. } => "health.non_finite",
             HealthEvent::SingularPivot { .. } => "health.singular_pivot",
             HealthEvent::IllConditioned { .. } => "health.ill_conditioned",
             HealthEvent::CacheInconsistent { .. } => "health.cache_inconsistent",
-        };
+        }
+    }
+
+    /// Mirrors the event into every observability surface: a
+    /// zero-duration `health.*` trace span (NDJSON exporter and
+    /// [`crate::RunReport`] counters), a `health.*` metrics counter, and
+    /// a flight-recorder entry — which triggers an incident dump, so
+    /// every health event ships its own post-mortem context.
+    pub fn record(&self) {
+        let name = self.label();
+        crate::metrics::counter(name).inc();
+        crate::metrics::flight::note_health(name, self.stage().name());
         crate::trace::span(name).finish();
     }
 }

@@ -30,6 +30,11 @@
 //!   flop/byte counters, log-bucket latency histograms, pool utilization,
 //!   and NDJSON / Chrome `trace_event` exporters. Enabled with `FSI_TRACE`
 //!   (`1`/`stages` or `2`/`kernels`); off by default at near-zero cost.
+//! * [`metrics`] — always-on process metrics: a named registry of
+//!   lock-free sharded counters, gauges, and histograms with
+//!   snapshot/delta semantics and Prometheus/JSON exporters, plus the
+//!   health **flight recorder** — a ring of recent span closures, health
+//!   events, and recovery rungs dumped automatically on incidents.
 //!
 //! The crate is dependency-free apart from the vendored channel used by
 //! the pool and has no knowledge of linear algebra; it sits at the bottom
@@ -40,6 +45,7 @@
 pub mod comm;
 pub mod flops;
 pub mod health;
+pub mod metrics;
 pub mod parallel;
 pub mod pool;
 pub mod sim;
@@ -50,6 +56,7 @@ pub mod workspace;
 #[allow(deprecated)] // shims kept for external callers of the old API
 pub use flops::{flop_count, reset_flops, FlopCounter};
 pub use health::{FsiError, FsiResult, HealthEvent, Stage};
+pub use metrics::{Meter, MetricsSnapshot};
 pub use parallel::{join, parallel_for, parallel_map, pipeline, Schedule};
 pub use pool::{Par, PoolStats, ScopeHandle, ThreadPool, WorkerStats};
 pub use timing::{Profile, Stopwatch};

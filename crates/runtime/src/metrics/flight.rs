@@ -1,0 +1,286 @@
+//! The health flight recorder: a fixed-size ring of recent span
+//! closures, health events, and recovery rungs, dumped when something
+//! goes wrong.
+//!
+//! The PR-5 guardrails tell a driver *that* a stage tripped; they carry
+//! no context about what the process was doing in the seconds before.
+//! The recorder keeps the last [`CAPACITY`] events (each a few words) in
+//! a mutex-guarded ring, and renders them to an NDJSON *incident dump*
+//! whenever a [`crate::HealthEvent`] fires or the sweep driver's
+//! recovery ladder runs a rung — so every incident ships its own
+//! post-mortem without anyone having had tracing pre-armed.
+//!
+//! Dumps always land in an in-memory slot readable via [`last_dump`]
+//! (harnesses and tests assert on it); when a dump directory is set —
+//! [`set_dump_dir`] or the `FSI_FLIGHT_DIR` environment variable — each
+//! incident is also written to `flight-<seq>-<reason>.ndjson` there, up
+//! to [`MAX_DUMP_FILES`] files per process so a pathological event storm
+//! cannot fill a disk.
+//!
+//! Span closures are recorded only while tracing is on (spans are no-ops
+//! otherwise); health and recovery events are recorded whenever metrics
+//! are enabled. Ring pushes take an uncontended mutex — fine at stage
+//! granularity, and `FSI_TRACE=2` kernel storms degrade to contention,
+//! not data loss.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use super::registry::{enabled, LazyCounter};
+
+/// Events retained in the ring. Must comfortably exceed the 32 recent
+/// spans an incident dump is required to carry.
+pub const CAPACITY: usize = 256;
+
+/// File-dump cap per process (the in-memory [`last_dump`] slot is
+/// always refreshed regardless).
+pub const MAX_DUMP_FILES: u64 = 64;
+
+/// What kind of moment a [`FlightEvent`] captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightKind {
+    /// A trace span closed (name + duration + flops).
+    Span,
+    /// A health probe raised a [`crate::HealthEvent`].
+    Health,
+    /// The recovery ladder executed a rung.
+    Recovery,
+    /// A free-form marker from a harness or driver.
+    Note,
+}
+
+impl FlightKind {
+    fn label(&self) -> &'static str {
+        match self {
+            FlightKind::Span => "span",
+            FlightKind::Health => "health",
+            FlightKind::Recovery => "recovery",
+            FlightKind::Note => "note",
+        }
+    }
+}
+
+/// One recorded moment.
+#[derive(Clone, Debug)]
+pub struct FlightEvent {
+    /// Global sequence number (gap-free across the whole process; the
+    /// ring drops from the front, so `seq` exposes how much history was
+    /// lost).
+    pub seq: u64,
+    /// Nanoseconds since the trace epoch.
+    pub t_ns: u64,
+    /// Small index of the recording thread (same numbering as trace
+    /// spans).
+    pub thread: u64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// Span/event/rung name.
+    pub name: &'static str,
+    /// Stage label for health/recovery events (`""` otherwise).
+    pub stage: &'static str,
+    /// Span duration in ns (0 for non-span events).
+    pub dur_ns: u64,
+    /// Flops charged to the span (0 for non-span events).
+    pub flops: u64,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    next_seq: u64,
+}
+
+static RING: Mutex<Option<Ring>> = Mutex::new(None);
+static LAST_DUMP: Mutex<Option<String>> = Mutex::new(None);
+/// `None` until resolved: dump dir from `set_dump_dir` or
+/// `FSI_FLIGHT_DIR` (empty string disables file dumps).
+static DUMP_DIR: Mutex<Option<Option<PathBuf>>> = Mutex::new(None);
+static DUMP_FILES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+static DUMPS: LazyCounter = LazyCounter::new("runtime.flight.dumps");
+
+fn ring() -> MutexGuard<'static, Option<Ring>> {
+    RING.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn push(event_of: impl FnOnce(u64) -> FlightEvent) {
+    let mut guard = ring();
+    let r = guard.get_or_insert_with(|| Ring {
+        events: VecDeque::with_capacity(CAPACITY),
+        next_seq: 0,
+    });
+    let seq = r.next_seq;
+    r.next_seq += 1;
+    if r.events.len() == CAPACITY {
+        r.events.pop_front();
+    }
+    r.events.push_back(event_of(seq));
+}
+
+/// Records a closed span. Called from the trace layer on every span
+/// closure; cost is one short mutex push.
+pub(crate) fn record_span(name: &'static str, t_ns: u64, thread: u64, dur_ns: u64, flops: u64) {
+    if !enabled() {
+        return;
+    }
+    push(|seq| FlightEvent {
+        seq,
+        t_ns,
+        thread,
+        kind: FlightKind::Span,
+        name,
+        stage: "",
+        dur_ns,
+        flops,
+    });
+}
+
+fn record_mark(kind: FlightKind, name: &'static str, stage: &'static str) {
+    if !enabled() {
+        return;
+    }
+    let t_ns = crate::trace::now_ns();
+    let thread = crate::trace::thread_index();
+    push(|seq| FlightEvent {
+        seq,
+        t_ns,
+        thread,
+        kind,
+        name,
+        stage,
+        dur_ns: 0,
+        flops: 0,
+    });
+}
+
+/// Records a health event and dumps the ring (the incident trigger).
+pub fn note_health(name: &'static str, stage: &'static str) {
+    record_mark(FlightKind::Health, name, stage);
+    incident(name);
+}
+
+/// Records a recovery-ladder rung and dumps the ring.
+pub fn note_recovery(rung: &'static str, stage: &'static str) {
+    record_mark(FlightKind::Recovery, rung, stage);
+    incident(rung);
+}
+
+/// Records a free-form marker (no dump).
+pub fn note(name: &'static str) {
+    record_mark(FlightKind::Note, name, "");
+}
+
+/// A copy of the ring's current contents, oldest first.
+pub fn events() -> Vec<FlightEvent> {
+    ring()
+        .as_ref()
+        .map(|r| r.events.iter().cloned().collect())
+        .unwrap_or_default()
+}
+
+/// Empties the ring (tests and multi-phase harnesses).
+pub fn clear() {
+    if let Some(r) = ring().as_mut() {
+        r.events.clear();
+    }
+    *LAST_DUMP.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Overrides the incident-dump directory (`None` disables file dumps).
+/// When never called, the `FSI_FLIGHT_DIR` environment variable is
+/// consulted on the first incident.
+pub fn set_dump_dir(dir: Option<PathBuf>) {
+    *DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner()) = Some(dir);
+}
+
+fn dump_dir() -> Option<PathBuf> {
+    let mut guard = DUMP_DIR.lock().unwrap_or_else(|e| e.into_inner());
+    guard
+        .get_or_insert_with(|| {
+            std::env::var_os("FSI_FLIGHT_DIR")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })
+        .clone()
+}
+
+/// The NDJSON text of the most recent incident dump, if any.
+pub fn last_dump() -> Option<String> {
+    LAST_DUMP.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Renders the current ring to incident-dump NDJSON: a `flight_meta`
+/// line followed by one `flight` line per event, oldest first (see
+/// `results/schema.md`).
+pub fn render(reason: &str) -> String {
+    let events = events();
+    let unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let first_seq = events.first().map(|e| e.seq).unwrap_or(0);
+    let mut out = String::with_capacity(64 * (events.len() + 1));
+    out.push_str(&format!(
+        "{{\"kind\":\"flight_meta\",\"schema\":1,\"reason\":\"{}\",\"unix_ms\":{},\"events\":{},\"first_seq\":{}}}\n",
+        escape(reason),
+        unix_ms,
+        events.len(),
+        first_seq,
+    ));
+    for e in &events {
+        out.push_str(&format!(
+            "{{\"kind\":\"flight\",\"seq\":{},\"t_ns\":{},\"thread\":{},\"type\":\"{}\",\"name\":\"{}\"",
+            e.seq,
+            e.t_ns,
+            e.thread,
+            e.kind.label(),
+            escape(e.name),
+        ));
+        if !e.stage.is_empty() {
+            out.push_str(&format!(",\"stage\":\"{}\"", escape(e.stage)));
+        }
+        if e.kind == FlightKind::Span {
+            out.push_str(&format!(",\"dur_ns\":{},\"flops\":{}", e.dur_ns, e.flops));
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Dumps the ring now: refreshes [`last_dump`], bumps the
+/// `runtime.flight.dumps` counter, and (dir configured, file cap not
+/// yet hit) writes `flight-<n>-<reason>.ndjson`. Write errors are
+/// swallowed — the recorder must never turn an incident into a panic.
+pub fn incident(reason: &str) {
+    if !enabled() {
+        return;
+    }
+    let text = render(reason);
+    *LAST_DUMP.lock().unwrap_or_else(|e| e.into_inner()) = Some(text.clone());
+    DUMPS.inc();
+    if let Some(dir) = dump_dir() {
+        let n = DUMP_FILES_WRITTEN.fetch_add(1, Ordering::Relaxed);
+        if n < MAX_DUMP_FILES {
+            let slug: String = reason
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+                .collect();
+            let path = dir.join(format!("flight-{n:04}-{slug}.ndjson"));
+            let _ = std::fs::create_dir_all(&dir);
+            let _ = std::fs::write(path, text);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Always-on process metrics: a named registry of lock-free counters,
+//! gauges, and log-bucket histograms, plus the health flight recorder.
+//!
+//! The trace layer ([`crate::trace`]) answers "where did *this run's*
+//! time and flops go" — opt-in, post-hoc, file-oriented. This module is
+//! the complementary *service* view the ROADMAP's
+//! Green's-function-as-a-service tier needs: cheap enough to leave on in
+//! release builds (a counter increment is one relaxed `fetch_add` on a
+//! thread-sharded cache line), queryable at any moment via
+//! [`snapshot`], and exportable to both Prometheus text exposition
+//! ([`MetricsSnapshot::to_prometheus`]) and the workspace's JSON schema
+//! ([`MetricsSnapshot::to_json`], `results/schema.md`).
+//!
+//! ## Naming
+//!
+//! Metric names are dotted paths, `<crate>.<subsystem>.<what>`:
+//! `dense.gemm.flops`, `selinv.cluster_cache.hits`,
+//! `dqmc.recovery.invalidate_caches`, `runtime.pool.utilization`. The
+//! Prometheus exporter maps dots to underscores and prefixes `fsi_`.
+//!
+//! ## Snapshot / delta
+//!
+//! [`snapshot`] reads every registered metric into a
+//! [`MetricsSnapshot`]; [`MetricsSnapshot::delta_since`] subtracts an
+//! earlier snapshot so a driver can attribute counts to one sweep, one
+//! job, or one tenant without resetting anything (counters are
+//! monotonic and never reset).
+//!
+//! ## Flight recorder
+//!
+//! [`flight`] keeps a fixed ring of recent span closures, health
+//! events, and recovery rungs, and dumps it (NDJSON) whenever a
+//! [`crate::HealthEvent`] fires or the recovery ladder escalates — see
+//! the module docs.
+
+pub mod flight;
+mod registry;
+
+pub use registry::{
+    counter, enabled, gauge, histogram, set_enabled, Counter, Gauge, HistogramMetric, LazyCounter,
+    LazyGauge, LazyHistogram, Meter, MeterGuard, SHARDS,
+};
+
+use std::collections::BTreeMap;
+
+use crate::trace::{Histogram, Json};
+
+/// A point-in-time view of every registered metric.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Capture time, ms since the Unix epoch.
+    pub unix_ms: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram contents by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Captures the current value of every registered metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let view = registry::read_all();
+    MetricsSnapshot {
+        unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        counters: view.counters,
+        gauges: view.gauges,
+        histograms: view.histograms,
+    }
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (`None` when absent).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The change since `earlier`: counters and histograms are
+    /// subtracted (saturating — a metric born after `earlier` reports
+    /// its full value), gauges keep their current reading (a gauge is a
+    /// level, not a flow).
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (name, v) in out.counters.iter_mut() {
+            *v = v.saturating_sub(earlier.counter(name));
+        }
+        for (name, h) in out.histograms.iter_mut() {
+            if let Some(base) = earlier.histograms.get(name) {
+                h.subtract(base);
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Dotted names become underscored and gain an `fsi_` prefix;
+    /// histograms render as cumulative `_bucket{le="..."}` series with
+    /// `_sum` / `_count`, using each bucket's upper bound in nanoseconds
+    /// as its `le` label.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {}\n", fmt_f64(*v)));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cum = 0u64;
+            for (i, c) in h.nonzero_buckets() {
+                cum += c;
+                let (_, hi) = Histogram::bucket_bounds(i);
+                out.push_str(&format!("{n}_bucket{{le=\"{hi}\"}} {cum}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            out.push_str(&format!("{n}_sum {}\n", h.sum()));
+            out.push_str(&format!("{n}_count {}\n", h.count()));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a `kind: "metrics"` JSON object (schema
+    /// in `results/schema.md`).
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Int(v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, &v)| (k.clone(), Json::Num(v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .nonzero_buckets()
+                    .map(|(i, c)| Json::Arr(vec![Json::Int(i as u64), Json::Int(c)]))
+                    .collect();
+                (
+                    k.clone(),
+                    Json::Obj(vec![
+                        ("sum".into(), Json::Int(h.sum())),
+                        ("buckets".into(), Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("metrics".into())),
+            ("schema".into(), Json::Int(1)),
+            ("unix_ms".into(), Json::Int(self.unix_ms)),
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+        ])
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus grammar:
+/// `dense.gemm.flops` → `fsi_dense_gemm_flops`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("fsi_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// `f64` formatting without ever producing `NaN`-adjacent surprises in
+/// the exposition (`inf`/`NaN` render as Prometheus' `+Inf`/`NaN`).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.into()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let c = counter("test.mod.counter_a");
+        c.add(3);
+        c.inc();
+        assert!(counter("test.mod.counter_a").value() >= 4);
+        // Same name returns the same handle.
+        assert!(std::ptr::eq(c, counter("test.mod.counter_a")));
+    }
+
+    #[test]
+    fn gauges_last_write_and_high_water() {
+        let g = gauge("test.mod.gauge_a");
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0);
+        assert_eq!(g.get(), 2.5, "set_max never lowers");
+        g.set_max(9.0);
+        assert_eq!(g.get(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        counter("test.mod.kind_clash");
+        gauge("test.mod.kind_clash");
+    }
+
+    #[test]
+    fn histogram_metric_snapshots_to_plain_histogram() {
+        let h = histogram("test.mod.hist_a");
+        h.record(100);
+        h.record(100_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.sum(), 100_100);
+    }
+
+    #[test]
+    fn snapshot_delta_subtracts_counters_and_histograms() {
+        let c = counter("test.mod.delta_c");
+        let h = histogram("test.mod.delta_h");
+        c.add(5);
+        h.record(64);
+        let before = snapshot();
+        c.add(7);
+        h.record(64);
+        h.record(1024);
+        let delta = snapshot().delta_since(&before);
+        assert_eq!(delta.counter("test.mod.delta_c"), 7);
+        let dh = &delta.histograms["test.mod.delta_h"];
+        assert_eq!(dh.count(), 2);
+        assert_eq!(dh.sum(), 64 + 1024);
+    }
+
+    #[test]
+    fn disabled_metrics_drop_updates() {
+        let c = counter("test.mod.disabled_c");
+        // The global switch is shared; serialize with the trace test lock
+        // (other tests here don't toggle it).
+        let _guard = crate::trace::test_lock();
+        let before = c.value();
+        set_enabled(false);
+        c.add(100);
+        set_enabled(true);
+        assert_eq!(c.value(), before);
+        c.add(1);
+        assert_eq!(c.value(), before + 1);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        counter("test.mod.prom_c").add(2);
+        gauge("test.mod.prom_g").set(1.5);
+        histogram("test.mod.prom_h").record(100);
+        let text = snapshot().to_prometheus();
+        assert!(text.contains("# TYPE fsi_test_mod_prom_c counter"));
+        assert!(text.contains("fsi_test_mod_prom_g 1.5"));
+        assert!(text.contains("fsi_test_mod_prom_h_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("fsi_test_mod_prom_h_count"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        counter("test.mod.json_c").add(1);
+        let json = snapshot().to_json();
+        let mut text = String::new();
+        json.write(&mut text);
+        let parsed = Json::parse(&text).expect("self-emitted JSON parses");
+        assert_eq!(parsed.get("kind").and_then(Json::as_str), Some("metrics"));
+        assert!(
+            parsed
+                .get("counters")
+                .and_then(|c| c.get("test.mod.json_c"))
+                .and_then(Json::as_u64)
+                .unwrap_or(0)
+                >= 1
+        );
+    }
+
+    #[test]
+    fn meter_records_calls_flops_and_latency() {
+        static M: Meter = Meter::new("test.mod.meter");
+        M.observe(10);
+        {
+            let _g = M.start(1_000_000);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.mod.meter.calls"), 2);
+        assert_eq!(snap.counter("test.mod.meter.flops"), 1_000_010);
+        assert_eq!(snap.histograms["test.mod.meter.ns"].count(), 1);
+        assert!(snap.counter("test.mod.meter.busy_ns") > 0);
+    }
+}

@@ -184,7 +184,7 @@ impl ThreadPool {
     /// and the current queue depth. Counters accumulate over the pool's
     /// lifetime; diff two snapshots to measure a region.
     pub fn stats(&self) -> PoolStats {
-        PoolStats {
+        let stats = PoolStats {
             workers: self
                 .shared
                 .stats
@@ -197,7 +197,21 @@ impl ThreadPool {
                 .collect(),
             queue_depth: self.shared.rx.len(),
             threads: self.size,
+        };
+        // Publish the aggregate view to the always-on metrics registry so
+        // a service snapshot sees pool health without holding a pool ref.
+        let (busy, idle) = stats.workers.iter().fold((0.0f64, 0.0f64), |(b, i), w| {
+            (b + w.busy.as_secs_f64(), i + w.idle.as_secs_f64())
+        });
+        static UTILIZATION: crate::metrics::LazyGauge =
+            crate::metrics::LazyGauge::new("runtime.pool.utilization");
+        static QUEUE_DEPTH: crate::metrics::LazyGauge =
+            crate::metrics::LazyGauge::new("runtime.pool.queue_depth");
+        if busy + idle > 0.0 {
+            UTILIZATION.set(busy / (busy + idle));
         }
+        QUEUE_DEPTH.set(stats.queue_depth as f64);
+        stats
     }
 
     /// Runs `f` with a [`ScopeHandle`] on which jobs borrowing from the
@@ -267,6 +281,9 @@ fn worker_loop(shared: &PoolShared, index: usize) {
                 stat.busy_ns
                     .fetch_add(run.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 stat.jobs.fetch_add(1, Ordering::Relaxed);
+                static POOL_JOBS: crate::metrics::LazyCounter =
+                    crate::metrics::LazyCounter::new("runtime.pool.jobs");
+                POOL_JOBS.inc();
             }
             Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
             Err(crossbeam_channel::RecvTimeoutError::Disconnected) => return,

@@ -73,6 +73,17 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
     }
 
+    /// Element-wise saturating subtraction of an earlier snapshot of the
+    /// same histogram (delta semantics for `metrics::MetricsSnapshot`).
+    /// Buckets and sums only ever grow, so on genuine before/after pairs
+    /// the saturation never engages.
+    pub fn subtract(&mut self, earlier: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(earlier.counts.iter()) {
+            *a = a.saturating_sub(*b);
+        }
+        self.sum = self.sum.saturating_sub(earlier.sum);
+    }
+
     /// Total number of observations.
     pub fn count(&self) -> u64 {
         self.counts.iter().sum()

@@ -44,6 +44,8 @@ pub use span::{
 #[doc(hidden)]
 pub use span::test_lock;
 
+pub(crate) use span::{now_ns, thread_index};
+
 /// Opens a stage span: `let _s = span!("cls");`. Sugar for
 /// [`trace::span`](span()).
 #[macro_export]

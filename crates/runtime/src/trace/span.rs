@@ -124,11 +124,11 @@ thread_local! {
     static THREAD_INDEX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
 }
 
-fn thread_index() -> u64 {
+pub(crate) fn thread_index() -> u64 {
     THREAD_INDEX.with(|&i| i)
 }
 
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
@@ -325,6 +325,15 @@ impl SpanGuard {
             flops,
             bytes,
         };
+        // Feed the flight recorder before taking the collector lock so an
+        // incident dump triggered between the two still sees this span.
+        crate::metrics::flight::record_span(
+            record.name,
+            record.start_ns,
+            record.thread,
+            dur_ns,
+            flops,
+        );
         let mut guard = collector();
         let c = guard.get_or_insert_with(Collector::default);
         c.histograms

@@ -138,6 +138,9 @@ pub fn bsofi_selected(
     pattern: &SelectedPattern,
 ) -> FsiResult<SelectedInverse> {
     let _span = trace::span("bsofi.selected");
+    static METER: fsi_runtime::metrics::Meter =
+        fsi_runtime::metrics::Meter::new("selinv.bsofi.selected");
+    let _meter = METER.start(crate::flops::bsofi_selected_flops(pc.n(), pc.l(), pattern));
     let b = pc.l();
     if b == 1 {
         let _ = pattern.rows(1); // bounds-check DiagonalBlock requests
@@ -224,6 +227,9 @@ impl StructuredQr {
         let n = pc.n();
         let b = pc.l();
         assert!(b >= 2, "StructuredQr requires at least two block rows");
+        static METER: fsi_runtime::metrics::Meter =
+            fsi_runtime::metrics::Meter::new("selinv.bsofi.factor");
+        let _meter = METER.start(crate::flops::structured_qr_flops(n, b));
         let mut e: Vec<Matrix> = Vec::with_capacity(b - 1);
         let mut c: Vec<Matrix> = Vec::with_capacity(b.saturating_sub(2));
         // Current diagonal block D_i (starts as the identity at row 0) and

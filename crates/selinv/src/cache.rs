@@ -190,6 +190,12 @@ impl ClusterCache {
         self.key = Some(key);
         self.hits += (b - stale.len()) as u64;
         self.misses += stale.len() as u64;
+        static HITS: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("selinv.cluster_cache.hits");
+        static MISSES: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("selinv.cluster_cache.misses");
+        HITS.add((b - stale.len()) as u64);
+        MISSES.add(stale.len() as u64);
 
         let clustered = Clustered {
             reduced: BlockPCyclic::new(self.products.clone()),

@@ -89,6 +89,8 @@ pub fn cls(
     assert!(q < c, "shift q={q} must be < c={c}");
     let b = l / c;
     let o = c - 1 - q;
+    static METER: fsi_runtime::metrics::Meter = fsi_runtime::metrics::Meter::new("selinv.cls");
+    let _meter = METER.start(cls_flops(pc.n(), l, c));
     let blocks = parallel_map(par_clusters, b, Schedule::Static, |m| {
         cluster_product(par_gemm, pc.blocks(), c * m + o, c)
     });
