@@ -44,6 +44,16 @@ if [[ $quick -eq 0 ]]; then
     cargo test --offline -q -p fsi-runtime -p fsi-dqmc
   rm -rf "$FLIGHT_DIR"
 
+  # Kernel-equivalence lane with the dispatch forced to the scalar tier
+  # (FSI_KERNEL is read once per process, so the forced choice covers the
+  # whole run): the batched/blocked/chain paths and all tier-parity
+  # proptests must hold when every consumer rides the portable kernel —
+  # this is the lane that would catch a vector-tier result leaking into a
+  # scalar-pinned run, and it keeps the suite meaningful on hosts without
+  # AVX.
+  echo "== cargo test (kernel lane: FSI_KERNEL=scalar) =="
+  FSI_KERNEL=scalar cargo test --offline -q -p fsi-dense
+
   # The checked profile keeps release optimization but turns debug
   # assertions and overflow checks back on — numeric guardrail bugs that
   # only trip under assertions surface here.

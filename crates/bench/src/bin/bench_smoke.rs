@@ -8,13 +8,19 @@
 //! machine-readable artifact; `ci/bench_smoke.sh` runs it as a non-gating
 //! CI step.
 //!
-//! Usage: `bench_smoke [--label=NAME] [--out=PATH] [sizes=64,128,256]
-//! [N=36] [L=32] [c=8]`
+//! Usage: `bench_smoke [--label=NAME] [--out=PATH] [--kernel=TIER]
+//! [sizes=64,128,256] [N=36] [L=32] [c=8]`
+//!
+//! Alongside the blocked-GEMM `records`, a `batched` section times the
+//! [`fsi_dense::gemm_batched`] engine against a loop of plain `gemm_op`
+//! calls at the CLS hot shapes (small uniform `n × n × n` batches) and
+//! records the speedup; `--kernel=avx512|avx2|scalar` pins the
+//! micro-kernel tier so runs on different hosts stay comparable.
 
 use std::time::SystemTime;
 
-use fsi_bench::{hubbard_matrix, lattice_side_for, Args};
-use fsi_dense::{gemm_op, test_matrix, Matrix, Op};
+use fsi_bench::{apply_kernel_flag, hubbard_matrix, lattice_side_for, Args};
+use fsi_dense::{gemm_batched, gemm_op, test_matrix, BatchOperand, Matrix, Op};
 use fsi_pcyclic::Spin;
 use fsi_runtime::flops::counts;
 use fsi_runtime::trace::{self, Json};
@@ -46,6 +52,129 @@ fn time_best(mut f: impl FnMut()) -> f64 {
         reps += 1;
     }
     best
+}
+
+/// Interleaved best-of timing for an A/B comparison: alternates single
+/// calls of `a` and `b` inside one rep loop (~0.4 s budget, at least 5
+/// reps each) and returns both minima. Interleaving exposes the pair to
+/// the same drift in clocks and cache state, so the *ratio* is far less
+/// noisy than two independent `time_best` runs — essential at the small-N
+/// shapes where one call is microseconds (same estimator as
+/// `bench_bsofi`).
+fn time_best_pair(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    a(); // warm-up both
+    b();
+    let budget = Stopwatch::start();
+    let (mut best_a, mut best_b) = (f64::INFINITY, f64::INFINITY);
+    let mut reps = 0u32;
+    while budget.seconds() < 0.4 || reps < 5 {
+        let sw = Stopwatch::start();
+        a();
+        best_a = best_a.min(sw.seconds());
+        let sw = Stopwatch::start();
+        b();
+        best_b = best_b.min(sw.seconds());
+        reps += 1;
+    }
+    (best_a, best_b)
+}
+
+/// One measured (n, batch) pair of the batched-vs-looped comparison.
+struct BatchedRecord {
+    n: usize,
+    batch: usize,
+    seconds: f64,
+    gflops: f64,
+    looped_seconds: f64,
+    looped_gflops: f64,
+    looped_tier: fsi_dense::Tier,
+    speedup: f64,
+}
+
+/// Times `batch` independent `n × n × n` NN products (the CLS lockstep
+/// shape) through `gemm_batched` and through a loop of plain blocked
+/// `gemm_op` calls, interleaved.
+///
+/// The looped loop is pinned (via [`fsi_dense::with_tier`]) to the AVX2
+/// tier — bit-for-bit the engine as it existed before the batched path
+/// and the AVX-512 tier landed — so the `speedup` column answers "what
+/// does routing this shape through the batched engine buy over the
+/// previous release", not "batched vs blocked on the same new kernel".
+/// Both raw rates and the baseline's tier are recorded, so either
+/// comparison can be reconstructed from the artifact.
+fn bench_batched(n: usize, batch: usize) -> BatchedRecord {
+    let looped_tier = if fsi_dense::Tier::Avx2.is_available() {
+        fsi_dense::Tier::Avx2
+    } else {
+        fsi_dense::Tier::Scalar
+    };
+    let a: Vec<Matrix> = (0..batch)
+        .map(|i| test_matrix(n, n, 10 + i as u64))
+        .collect();
+    let b: Vec<Matrix> = (0..batch)
+        .map(|i| test_matrix(n, n, 100 + i as u64))
+        .collect();
+    let a_refs: Vec<_> = a.iter().map(|m| m.as_ref()).collect();
+    let b_refs: Vec<_> = b.iter().map(|m| m.as_ref()).collect();
+    let mut c_batched: Vec<Matrix> = (0..batch).map(|_| Matrix::zeros(n, n)).collect();
+    let mut c_looped: Vec<Matrix> = (0..batch).map(|_| Matrix::zeros(n, n)).collect();
+    let (seconds, looped_seconds) = time_best_pair(
+        || {
+            let mut outs: Vec<_> = c_batched.iter_mut().map(|m| m.as_mut()).collect();
+            gemm_batched(
+                fsi_runtime::Par::Seq,
+                1.0,
+                Op::NoTrans,
+                BatchOperand::Each(&a_refs),
+                Op::NoTrans,
+                BatchOperand::Each(&b_refs),
+                0.0,
+                &mut outs,
+            );
+        },
+        || {
+            fsi_dense::with_tier(looped_tier, || {
+                for i in 0..batch {
+                    gemm_op(
+                        fsi_runtime::Par::Seq,
+                        1.0,
+                        Op::NoTrans,
+                        a_refs[i],
+                        Op::NoTrans,
+                        b_refs[i],
+                        0.0,
+                        c_looped[i].as_mut(),
+                    );
+                }
+            });
+        },
+    );
+    // The vector tiers share one bitwise contract (and scalar agrees to
+    // rounding); spot-check here so a future regression can't silently
+    // publish a speedup over wrong answers.
+    let exact = fsi_dense::active_tier() != fsi_dense::Tier::Scalar
+        && looped_tier != fsi_dense::Tier::Scalar;
+    for (cb, cl) in c_batched.iter().zip(&c_looped) {
+        if exact {
+            assert_eq!(cb.as_slice(), cl.as_slice(), "batched != looped at n={n}");
+        } else {
+            assert!(
+                fsi_dense::rel_error(cb, cl) < 1e-12,
+                "batched != looped at n={n}"
+            );
+        }
+    }
+    let flops = batch as u64 * counts::gemm(n, n, n);
+    BatchedRecord {
+        n,
+        batch,
+        seconds,
+        gflops: flops as f64 / seconds / 1e9,
+        looped_seconds,
+        looped_gflops: flops as f64 / looped_seconds / 1e9,
+        looped_tier,
+        speedup: looped_seconds / seconds,
+    }
 }
 
 /// Times `C := op(A)·op(B)` at `n × n × n` and returns the record plus the
@@ -92,6 +221,8 @@ fn bench_gemm(name: &str, n: usize, opa: Op, opb: Op) -> Record {
 
 fn main() {
     let args = Args::parse();
+    let kernel = apply_kernel_flag(&args);
+    println!("kernel tier: {}", kernel.name());
     let label = args.flag_value("label").unwrap_or("current").to_string();
     let out = args
         .flag_value("out")
@@ -127,6 +258,28 @@ fn main() {
             r.name, r.size, r.seconds, r.gflops
         );
         records.push(r);
+    }
+
+    // Batched engine vs looped gemm at the CLS hot shapes. The (N, batch)
+    // grid covers the acceptance sizes (32, 64) plus a mid-size with the
+    // default traced shape's cluster count.
+    let mut batched = Vec::new();
+    println!(
+        "\n{:<12} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "batched", "n", "batch", "Gflop/s", "looped", "speedup"
+    );
+    for (n, bsz) in [(32, 8), (48, 4), (64, 8)] {
+        let r = bench_batched(n, bsz);
+        println!(
+            "{:<12} {:>6} {:>6} {:>10.3} {:>10.3} {:>8.2}",
+            "gemm_batched", r.n, r.batch, r.gflops, r.looped_gflops, r.speedup
+        );
+        assert!(
+            r.speedup > 1.0,
+            "batched engine slower than the pre-PR looped baseline at n={}",
+            r.n
+        );
+        batched.push(r);
     }
 
     // One traced FSI run at a small shape: per-stage seconds, flops, and
@@ -167,6 +320,7 @@ fn main() {
 
     let json = Json::Obj(vec![
         ("label".into(), Json::Str(label)),
+        ("kernel".into(), Json::Str(kernel.name().to_string())),
         (
             "unix_ms".into(),
             Json::Int(
@@ -196,6 +350,30 @@ fn main() {
                             ("seconds".into(), Json::Num(r.seconds)),
                             ("gflops".into(), Json::Num(r.gflops)),
                             ("flops".into(), Json::Int(r.measured_flops)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "batched".into(),
+            Json::Arr(
+                batched
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("name".into(), Json::Str("gemm_batched".into())),
+                            ("n".into(), Json::Int(r.n as u64)),
+                            ("batch".into(), Json::Int(r.batch as u64)),
+                            ("seconds".into(), Json::Num(r.seconds)),
+                            ("gflops".into(), Json::Num(r.gflops)),
+                            ("looped_seconds".into(), Json::Num(r.looped_seconds)),
+                            ("looped_gflops".into(), Json::Num(r.looped_gflops)),
+                            (
+                                "looped_tier".into(),
+                                Json::Str(r.looped_tier.name().to_string()),
+                            ),
+                            ("speedup".into(), Json::Num(r.speedup)),
                         ])
                     })
                     .collect(),

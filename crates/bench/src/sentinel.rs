@@ -126,6 +126,34 @@ pub fn extract(family: &str, doc: &Json) -> Result<Vec<MetricSample>, String> {
                     },
                 ));
             }
+            // The batched[] section is optional (absent from pre-PR-7
+            // artifacts) so an old baseline still parses; once both sides
+            // carry it, the batched rates and speedups are gated like any
+            // other timing metric.
+            if let Some(batched) = run.get("batched").and_then(Json::as_array) {
+                for r in batched {
+                    let name = r.get("name").and_then(Json::as_str).ok_or("batched.name")?;
+                    let n = r.get("n").and_then(Json::as_u64).unwrap_or(0);
+                    let bsz = r.get("batch").and_then(Json::as_u64).unwrap_or(0);
+                    let gf = num(r, "gflops").ok_or("batched.gflops")?;
+                    out.push(sample(
+                        format!("batched.{name}_{n}x{bsz}.gflops"),
+                        gf,
+                        Policy::HigherBetter {
+                            rel_tol: TIMING_REL_TOL,
+                        },
+                    ));
+                    if let Some(sp) = num(r, "speedup") {
+                        out.push(sample(
+                            format!("batched.{name}_{n}x{bsz}.speedup"),
+                            sp,
+                            Policy::HigherBetter {
+                                rel_tol: TIMING_REL_TOL,
+                            },
+                        ));
+                    }
+                }
+            }
         }
         "sweep" => {
             let summary = run.get("summary").ok_or("sweep: no summary")?;
@@ -452,6 +480,30 @@ mod tests {
         assert_eq!(m.len(), 2);
         assert_eq!(m[0].name, "gemm_nn_64.gflops");
         assert!(matches!(m[0].policy, Policy::HigherBetter { .. }));
+    }
+
+    #[test]
+    fn kernels_batched_section_is_extracted_when_present() {
+        let doc = parse(
+            r#"{"records":[{"name":"gemm_nn","size":64,"gflops":11.5}],
+                "batched":[{"name":"gemm_batched","n":32,"batch":8,
+                            "gflops":40.0,"looped_gflops":15.0,"speedup":2.6}]}"#,
+        );
+        let m = extract("kernels", &doc).unwrap();
+        let gf = m
+            .iter()
+            .find(|s| s.name == "batched.gemm_batched_32x8.gflops")
+            .expect("batched gflops metric");
+        assert_eq!(gf.value, 40.0);
+        assert!(matches!(gf.policy, Policy::HigherBetter { .. }));
+        let sp = m
+            .iter()
+            .find(|s| s.name == "batched.gemm_batched_32x8.speedup")
+            .expect("batched speedup metric");
+        assert_eq!(sp.value, 2.6);
+        // Pre-PR-7 artifacts without the section still extract.
+        let old = parse(r#"{"records":[{"name":"gemm_nn","size":64,"gflops":11.5}]}"#);
+        assert_eq!(extract("kernels", &old).unwrap().len(), 1);
     }
 
     #[test]

@@ -32,19 +32,24 @@
 //! thread-local pool in [`fsi_runtime::workspace`], so steady-state calls
 //! perform no allocation.
 //!
-//! **Micro-kernel.** The innermost kernel accumulates an `MR × NR` (8×4)
-//! tile of C held entirely in vector registers. Two implementations share
-//! one contract: an AVX2+FMA variant written with explicit `std::arch`
-//! intrinsics (8 `ymm` accumulators, 8 `vfmadd231pd` per depth step —
-//! exactly enough independent chains to saturate both FMA ports), and a
-//! portable plain multiply-add variant over fixed-size arrays that LLVM
-//! auto-vectorizes for the baseline target. `micro_kernel` picks the
-//! widest supported variant once per process via
-//! `is_x86_feature_detected!`.
+//! **Micro-kernel.** The innermost kernel accumulates an `MR × NR` tile
+//! of C held entirely in vector registers. The kernel implementations and
+//! the runtime tier dispatch (AVX-512 16×4, AVX2 8×4, portable scalar
+//! 8×4) live in [`crate::kernel`]; every tier keeps `NR = 4`, so the B
+//! panel layout is tier-independent and the macro loop only adapts its
+//! row-tile stride to the active tier's `MR`.
 //!
-//! **Blocking parameters.** `MR×NR = 8×4` (fits the 16 ×86-64 vector
-//! registers), `MC = 96` (Ã ≈ 192 KiB, L2-resident), `KC = 256`,
-//! `NC = 1024` (B̃ ≈ 2 MiB, L3-resident).
+//! **Blocking parameters.** `MC = 96` (Ã ≈ 192 KiB, L2-resident, a
+//! multiple of both 8 and 16 so either tile height divides it),
+//! `KC = 256`, `NC = 1024` (B̃ ≈ 2 MiB, L3-resident).
+//!
+//! **Batched small products.** For the paper's hot shape — many
+//! independent N≤64 products in the CLS stage — this per-call engine
+//! leaves half the throughput in packing and fill passes. The
+//! [`crate::batch`] module provides [`crate::batch::gemm_batched`], which
+//! streams a uniform-shape batch through the micro-kernel with shared
+//! operands packed once and a no-pack direct path for `NoTrans` small
+//! shapes; [`chain_mul`] routes eligible chains through it automatically.
 //!
 //! **Parallelism.** C is tiled over an M×N *thread grid* chosen by
 //! `thread_grid` to use every pool thread while keeping tiles near
@@ -69,14 +74,14 @@ pub enum Op {
 
 impl Op {
     /// Logical row count of `op(A)`.
-    fn rows(self, a: MatRef<'_>) -> usize {
+    pub(crate) fn rows(self, a: MatRef<'_>) -> usize {
         match self {
             Op::NoTrans => a.rows(),
             Op::Trans => a.cols(),
         }
     }
     /// Logical column count of `op(A)`.
-    fn cols(self, a: MatRef<'_>) -> usize {
+    pub(crate) fn cols(self, a: MatRef<'_>) -> usize {
         match self {
             Op::NoTrans => a.cols(),
             Op::Trans => a.rows(),
@@ -84,14 +89,17 @@ impl Op {
     }
 }
 
-/// Register tile height: rows of C per micro-kernel call.
+/// Base register-tile height (the 8×4 tiers; AVX-512 doubles this to 16).
+/// Used by shape heuristics and tests; the packed engine itself reads the
+/// active tier's `mr`.
 const MR: usize = 8;
-/// Register tile width: columns of C per micro-kernel call.
+/// Register tile width: columns of C per micro-kernel call. Identical
+/// across every kernel tier, so packed B panels are tier-independent.
 const NR: usize = 4;
-/// Cache block: rows of A per packed panel (multiple of `MR`).
-const MC: usize = 96;
+/// Cache block: rows of A per packed panel (multiple of every tier `MR`).
+pub(crate) const MC: usize = 96;
 /// Cache block: depth per packed panel.
-const KC: usize = 256;
+pub(crate) const KC: usize = 256;
 /// Cache block: columns of B per packed panel (multiple of `NR`).
 const NC: usize = 1024;
 
@@ -171,27 +179,10 @@ fn gemm_op_impl(
         return;
     }
 
-    // Open before charging so the flops land on this kernel's span (the
-    // guard is a no-op below FSI_TRACE=2).
-    static METER: fsi_runtime::metrics::Meter = fsi_runtime::metrics::Meter::new("dense.gemm");
-    let (_kernel, _meter) = if count {
-        let kernel = fsi_runtime::trace::kernel_span("gemm");
-        let f = flops::counts::gemm(m, n, k);
-        flops::add_flops(f);
-        fsi_runtime::trace::charge_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
-        // Timed metering only for kernel-sized calls: below ~2·64³ flops
-        // the two `Instant::now()` reads rival the gemm itself (the
-        // delayed-update flushes hit this path), so small calls take the
-        // two-relaxed-adds counter route instead.
-        let meter = if f >= 2 * 64 * 64 * 64 {
-            Some(METER.start(f))
-        } else {
-            METER.observe(f);
-            None
-        };
-        (Some(kernel), meter)
+    let _count = if count {
+        Some(gemm_count(m, n, k))
     } else {
-        (None, None)
+        None
     };
 
     let (tm, tn) = thread_grid(par.threads().max(1), m, n);
@@ -220,6 +211,45 @@ fn gemm_op_impl(
             }
         }
     });
+}
+
+/// The `dense.gemm` meter, shared by [`gemm_op`] and the chain/batch fast
+/// paths so every small-product route lands under one registry name.
+pub(crate) static GEMM_METER: fsi_runtime::metrics::Meter =
+    fsi_runtime::metrics::Meter::new("dense.gemm");
+
+/// Flop threshold below which metering skips the timed (`Instant`-reading)
+/// route: under ~2·64³ flops the two clock reads rival the gemm itself, so
+/// small calls take the two-relaxed-adds counter route instead.
+pub(crate) const TIMED_METER_MIN: u64 = 2 * 64 * 64 * 64;
+
+/// Open accounting guards for one `m × n × k` gemm: a `gemm` kernel span,
+/// the analytic flop/byte charges, and the `dense.gemm` meter (timed only
+/// for kernel-sized calls). Dropping the returned value closes the span.
+/// The chain fast path in [`crate::batch`] charges per product through
+/// this same helper, so flop attribution is identical on every route.
+pub(crate) struct GemmCount {
+    _kernel: fsi_runtime::trace::SpanGuard,
+    _meter: Option<fsi_runtime::metrics::MeterGuard<'static>>,
+}
+
+pub(crate) fn gemm_count(m: usize, n: usize, k: usize) -> GemmCount {
+    // Open before charging so the flops land on this kernel's span (the
+    // guard is a no-op below FSI_TRACE=2).
+    let kernel = fsi_runtime::trace::kernel_span("gemm");
+    let f = flops::counts::gemm(m, n, k);
+    flops::add_flops(f);
+    fsi_runtime::trace::charge_bytes(8 * (m * k + k * n + 2 * m * n) as u64);
+    let meter = if f >= TIMED_METER_MIN {
+        Some(GEMM_METER.start(f))
+    } else {
+        GEMM_METER.observe(f);
+        None
+    };
+    GemmCount {
+        _kernel: kernel,
+        _meter: meter,
+    }
 }
 
 /// Chooses a `tm × tn` thread grid for an `m × n` output: among the splits
@@ -257,11 +287,13 @@ fn gemm_packed(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, mut c
     let m = c.rows();
     let n = c.cols();
     let k = opa.cols(a);
-    let micro = micro_kernel();
+    let kt = crate::kernel::active();
+    let (tile_m, tile_n) = (kt.mr, kt.nr);
+    let micro = kt.micro;
     let ldc = c.ld();
     let cptr = c.as_mut_ptr();
-    let a_len = MC.min(m).div_ceil(MR) * MR * KC.min(k);
-    let b_len = NC.min(n).div_ceil(NR) * NR * KC.min(k);
+    let a_len = MC.min(m).div_ceil(tile_m) * tile_m * KC.min(k);
+    let b_len = NC.min(n).div_ceil(tile_n) * tile_n * KC.min(k);
     workspace::with_scratch2(a_len, b_len, |apack, bpack| {
         let mut jc = 0;
         while jc < n {
@@ -269,20 +301,20 @@ fn gemm_packed(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, mut c
             let mut pc = 0;
             while pc < k {
                 let kc = KC.min(k - pc);
-                pack_b(opb, b, pc, jc, kc, ncb, bpack);
+                pack_b(opb, b, pc, jc, kc, ncb, tile_n, bpack);
                 let mut ic = 0;
                 while ic < m {
                     let mc = MC.min(m - ic);
-                    pack_a(opa, a, ic, pc, mc, kc, apack);
+                    pack_a(opa, a, ic, pc, mc, kc, tile_m, apack);
                     // Macro-kernel: sweep the packed panels tile by tile.
                     let mut jr = 0;
                     while jr < ncb {
-                        let nr = NR.min(ncb - jr);
-                        let bpanel = bpack[(jr / NR) * (kc * NR)..].as_ptr();
+                        let nr = tile_n.min(ncb - jr);
+                        let bpanel = bpack[(jr / tile_n) * (kc * tile_n)..].as_ptr();
                         let mut ir = 0;
                         while ir < mc {
-                            let mr = MR.min(mc - ir);
-                            let apanel = apack[(ir / MR) * (kc * MR)..].as_ptr();
+                            let mr = tile_m.min(mc - ir);
+                            let apanel = apack[(ir / tile_m) * (kc * tile_m)..].as_ptr();
                             // SAFETY: the panels hold kc·MR / kc·NR packed
                             // values by construction; the C tile at
                             // (ic+ir, jc+jr) has mr×nr live elements inside
@@ -290,11 +322,11 @@ fn gemm_packed(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, mut c
                             // only that corner.
                             unsafe {
                                 let ctile = cptr.add((ic + ir) + (jc + jr) * ldc);
-                                micro(kc, alpha, apanel, bpanel, ctile, ldc, mr, nr);
+                                micro(kc, alpha, apanel, bpanel, ctile, ldc, mr, nr, false);
                             }
-                            ir += MR;
+                            ir += tile_m;
                         }
-                        jr += NR;
+                        jr += tile_n;
                     }
                     ic += mc;
                 }
@@ -306,21 +338,32 @@ fn gemm_packed(alpha: f64, opa: Op, a: MatRef<'_>, opb: Op, b: MatRef<'_>, mut c
 }
 
 /// Packs the `mc × kc` block of `op(A)` at logical offset `(ic, pc)` into
-/// MR-strided row panels: panel `ip` stores `op(A)[ip·MR + r, p]` at
-/// `panel[p·MR + r]`, zero-padded to a full `MR` so the micro-kernel never
-/// branches on tile height.
-fn pack_a(opa: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, dst: &mut [f64]) {
-    for ip in 0..mc.div_ceil(MR) {
-        let i0 = ip * MR;
-        let mr = MR.min(mc - i0);
-        let panel = &mut dst[ip * MR * kc..(ip + 1) * MR * kc];
+/// `tile_m`-strided row panels: panel `ip` stores `op(A)[ip·MR + r, p]` at
+/// `panel[p·MR + r]` (`MR = tile_m`, the active tier's tile height),
+/// zero-padded to a full `MR` so the micro-kernel never branches on tile
+/// height.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a(
+    opa: Op,
+    a: MatRef<'_>,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    tile_m: usize,
+    dst: &mut [f64],
+) {
+    for ip in 0..mc.div_ceil(tile_m) {
+        let i0 = ip * tile_m;
+        let mr = tile_m.min(mc - i0);
+        let panel = &mut dst[ip * tile_m * kc..(ip + 1) * tile_m * kc];
         match opa {
             // op(A)[i, p] = A[ic+i, pc+p]: fixed p is a contiguous column
             // segment of height mr.
             Op::NoTrans => {
                 for p in 0..kc {
                     let src = &a.col(pc + p)[ic + i0..ic + i0 + mr];
-                    let d = &mut panel[p * MR..(p + 1) * MR];
+                    let d = &mut panel[p * tile_m..(p + 1) * tile_m];
                     d[..mr].copy_from_slice(src);
                     d[mr..].fill(0.0);
                 }
@@ -328,15 +371,15 @@ fn pack_a(opa: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, ds
             // op(A)[i, p] = A[pc+p, ic+i]: fixed i is a contiguous column
             // segment of depth kc, scattered into stride-MR slots.
             Op::Trans => {
-                for r in 0..MR {
+                for r in 0..tile_m {
                     if r < mr {
                         let src = &a.col(ic + i0 + r)[pc..pc + kc];
                         for (p, &v) in src.iter().enumerate() {
-                            panel[p * MR + r] = v;
+                            panel[p * tile_m + r] = v;
                         }
                     } else {
                         for p in 0..kc {
-                            panel[p * MR + r] = 0.0;
+                            panel[p * tile_m + r] = 0.0;
                         }
                     }
                 }
@@ -346,26 +389,36 @@ fn pack_a(opa: Op, a: MatRef<'_>, ic: usize, pc: usize, mc: usize, kc: usize, ds
 }
 
 /// Packs the `kc × nc` block of `op(B)` at logical offset `(pc, jc)` into
-/// NR-strided column panels: panel `jp` stores `op(B)[p, jp·NR + j]` at
-/// `panel[p·NR + j]`, zero-padded to a full `NR`.
-fn pack_b(opb: Op, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, dst: &mut [f64]) {
-    for jp in 0..nc.div_ceil(NR) {
-        let j0 = jp * NR;
-        let nr = NR.min(nc - j0);
-        let panel = &mut dst[jp * NR * kc..(jp + 1) * NR * kc];
+/// `tile_n`-strided column panels: panel `jp` stores `op(B)[p, jp·NR + j]`
+/// at `panel[p·NR + j]` (`NR = tile_n`), zero-padded to a full `NR`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_b(
+    opb: Op,
+    b: MatRef<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    tile_n: usize,
+    dst: &mut [f64],
+) {
+    for jp in 0..nc.div_ceil(tile_n) {
+        let j0 = jp * tile_n;
+        let nr = tile_n.min(nc - j0);
+        let panel = &mut dst[jp * tile_n * kc..(jp + 1) * tile_n * kc];
         match opb {
             // op(B)[p, j] = B[pc+p, jc+j]: fixed j is a contiguous column
             // segment of depth kc, scattered into stride-NR slots.
             Op::NoTrans => {
-                for j in 0..NR {
+                for j in 0..tile_n {
                     if j < nr {
                         let src = &b.col(jc + j0 + j)[pc..pc + kc];
                         for (p, &v) in src.iter().enumerate() {
-                            panel[p * NR + j] = v;
+                            panel[p * tile_n + j] = v;
                         }
                     } else {
                         for p in 0..kc {
-                            panel[p * NR + j] = 0.0;
+                            panel[p * tile_n + j] = 0.0;
                         }
                     }
                 }
@@ -375,144 +428,13 @@ fn pack_b(opb: Op, b: MatRef<'_>, pc: usize, jc: usize, kc: usize, nc: usize, ds
             Op::Trans => {
                 for p in 0..kc {
                     let src = &b.col(pc + p)[jc + j0..jc + j0 + nr];
-                    let d = &mut panel[p * NR..(p + 1) * NR];
+                    let d = &mut panel[p * tile_n..(p + 1) * tile_n];
                     d[..nr].copy_from_slice(src);
                     d[nr..].fill(0.0);
                 }
             }
         }
     }
-}
-
-/// The micro-kernel signature: `(kc, alpha, Ã-panel, B̃-panel, C-tile, ldc,
-/// m_eff, n_eff)`.
-type MicroKernel = unsafe fn(usize, f64, *const f64, *const f64, *mut f64, usize, usize, usize);
-
-/// Portable micro-kernel: accumulates the full `MR × NR` register tile
-/// from zero over `kc` packed depth steps (padding lanes contribute exact
-/// zeros), then adds `alpha ·` the live `m_eff × n_eff` corner into C.
-/// Written over fixed-size arrays with plain multiply-add so LLVM
-/// auto-vectorizes with whatever SIMD the baseline target allows, without
-/// emitting libm `fma` calls.
-///
-/// # Safety
-/// `ap` must point at `kc·MR` packed values, `bp` at `kc·NR`, and `c` at a
-/// tile whose `m_eff × n_eff` corner is exclusively writable with column
-/// stride `ldc`.
-#[allow(clippy::too_many_arguments)]
-unsafe fn micro_kernel_portable(
-    kc: usize,
-    alpha: f64,
-    ap: *const f64,
-    bp: *const f64,
-    c: *mut f64,
-    ldc: usize,
-    m_eff: usize,
-    n_eff: usize,
-) {
-    let mut acc = [[0.0f64; MR]; NR];
-    for p in 0..kc {
-        let a = ap.add(p * MR);
-        let b = bp.add(p * NR);
-        let mut av = [0.0f64; MR];
-        for (i, slot) in av.iter_mut().enumerate() {
-            *slot = *a.add(i);
-        }
-        for (j, accj) in acc.iter_mut().enumerate() {
-            let bj = *b.add(j);
-            for (i, accij) in accj.iter_mut().enumerate() {
-                *accij += av[i] * bj;
-            }
-        }
-    }
-    for (j, accj) in acc.iter().enumerate().take(n_eff) {
-        let cj = c.add(j * ldc);
-        for (i, &accij) in accj.iter().enumerate().take(m_eff) {
-            *cj.add(i) += alpha * accij;
-        }
-    }
-}
-
-/// AVX2+FMA micro-kernel: explicit 256-bit intrinsics — the 8×4 tile lives
-/// in 8 `ymm` accumulators (two per C column), and each depth step issues
-/// 2 panel loads, 4 broadcasts, and 8 `vfmadd231pd`. Eight independent
-/// accumulator chains exactly cover the FMA latency×throughput product of
-/// Haswell-and-later cores, so the loop can run at peak FMA rate.
-///
-/// The writeback deliberately uses unfused multiply-then-add (not
-/// `vfmadd`) so each C element sees the same rounding sequence as the
-/// partial-tile scalar path — results are bitwise independent of where
-/// tile boundaries fall, which keeps parallel runs bitwise equal to
-/// sequential ones.
-///
-/// # Safety
-/// See [`micro_kernel_body`]; additionally the CPU must support AVX2 and
-/// FMA (verified once by [`micro_kernel`]).
-#[cfg(target_arch = "x86_64")]
-#[target_feature(enable = "avx2", enable = "fma")]
-#[allow(clippy::too_many_arguments)]
-unsafe fn micro_kernel_avx2(
-    kc: usize,
-    alpha: f64,
-    ap: *const f64,
-    bp: *const f64,
-    c: *mut f64,
-    ldc: usize,
-    m_eff: usize,
-    n_eff: usize,
-) {
-    use std::arch::x86_64::*;
-    let mut acc = [[_mm256_setzero_pd(); 2]; NR];
-    for p in 0..kc {
-        let a0 = _mm256_loadu_pd(ap.add(p * MR));
-        let a1 = _mm256_loadu_pd(ap.add(p * MR + 4));
-        for (j, accj) in acc.iter_mut().enumerate() {
-            let bj = _mm256_broadcast_sd(&*bp.add(p * NR + j));
-            accj[0] = _mm256_fmadd_pd(a0, bj, accj[0]);
-            accj[1] = _mm256_fmadd_pd(a1, bj, accj[1]);
-        }
-    }
-    let alphav = _mm256_set1_pd(alpha);
-    if m_eff == MR && n_eff == NR {
-        for (j, accj) in acc.iter().enumerate() {
-            let cj = c.add(j * ldc);
-            let lo = _mm256_add_pd(_mm256_loadu_pd(cj), _mm256_mul_pd(alphav, accj[0]));
-            let hi = _mm256_add_pd(_mm256_loadu_pd(cj.add(4)), _mm256_mul_pd(alphav, accj[1]));
-            _mm256_storeu_pd(cj, lo);
-            _mm256_storeu_pd(cj.add(4), hi);
-        }
-    } else {
-        let mut tile = [[0.0f64; MR]; NR];
-        for (j, accj) in acc.iter().enumerate() {
-            _mm256_storeu_pd(tile[j].as_mut_ptr(), accj[0]);
-            _mm256_storeu_pd(tile[j].as_mut_ptr().add(4), accj[1]);
-        }
-        for (j, tj) in tile.iter().enumerate().take(n_eff) {
-            let cj = c.add(j * ldc);
-            for (i, &v) in tj.iter().enumerate().take(m_eff) {
-                *cj.add(i) += alpha * v;
-            }
-        }
-    }
-}
-
-/// Selects the widest micro-kernel the running CPU supports, once per
-/// process. Dispatch policy: AVX2+FMA when `is_x86_feature_detected!`
-/// confirms both (any x86-64 since Haswell), the portable kernel
-/// otherwise and on every non-x86 target.
-fn micro_kernel() -> MicroKernel {
-    static KERNEL: std::sync::OnceLock<MicroKernel> = std::sync::OnceLock::new();
-    *KERNEL.get_or_init(|| {
-        #[cfg(target_arch = "x86_64")]
-        {
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                return micro_kernel_avx2 as MicroKernel;
-            }
-        }
-        micro_kernel_portable as MicroKernel
-    })
 }
 
 /// Convenience: allocates and returns `A·B` (sequential).
@@ -538,9 +460,19 @@ pub fn mul_par(par: Par<'_>, a: &Matrix, b: &Matrix) -> Matrix {
 /// so a `c`-factor cluster chain allocates at most two matrices instead of
 /// one per factor.
 ///
+/// Small sequential chains (every shape within the small-N fast-path
+/// bounds) route through [`crate::batch`]'s no-pack direct kernel, which
+/// skips per-product packing, C fill passes, and workspace borrows —
+/// bitwise identical to the general path (see [`crate::kernel`]'s
+/// accumulation-order contract), with identical per-product flop
+/// attribution.
+///
 /// # Panics
 /// Panics if the chain is empty or shapes are incompatible.
 pub fn chain_mul(par: Par<'_>, factors: &[&Matrix]) -> Matrix {
+    if factors.len() > 1 && par.threads() <= 1 && crate::batch::chain_is_small(factors) {
+        return crate::batch::chain_mul_small(factors);
+    }
     let (first, rest) = factors.split_first().expect("chain_mul needs a factor");
     let mut acc = (*first).clone();
     let mut spare: Option<Matrix> = None;

@@ -339,6 +339,14 @@ impl<'a> MatRef<'a> {
         *self.ptr.add(i + j * self.ld)
     }
 
+    /// Raw base pointer of the view (element `(i, j)` lives at
+    /// `ptr + i + j·ld`). For the no-pack small-N GEMM kernels, which read
+    /// operand columns straight from the source through raw pointers.
+    #[inline]
+    pub fn as_ptr(&self) -> *const f64 {
+        self.ptr
+    }
+
     /// A column as a slice (columns are contiguous in column-major layout).
     #[inline]
     pub fn col(&self, j: usize) -> &'a [f64] {

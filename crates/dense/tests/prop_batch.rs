@@ -1,0 +1,324 @@
+//! Equivalence properties of the batched small-matrix engine and the
+//! kernel tiers.
+//!
+//! Two contracts from `fsi_dense::batch` / `fsi_dense::kernel` are pinned
+//! here:
+//!
+//! 1. **Batched == looped, bitwise.** `gemm_batched` must reproduce a loop
+//!    of `gemm_op` calls bit for bit — for every Op combination, remainder
+//!    shape (sizes not multiples of MR/NR), batch size, operand sharing
+//!    mode, and alpha/beta combination, on both the small fast path and
+//!    the large blocked fallback.
+//! 2. **Tier equivalence.** The AVX-512 and AVX2 kernels are bitwise
+//!    identical (same per-element accumulation order, same unfused
+//!    writeback); the scalar tier (unfused accumulation) agrees to 1e-13
+//!    relative. Absent ISAs are skipped with a note, never failed.
+
+use fsi_dense::{
+    available_tiers, chain_mul, gemm_batched, gemm_op, mul, test_matrix, with_tier, BatchOperand,
+    Matrix, Op, Tier,
+};
+use fsi_runtime::{Par, ThreadPool};
+use proptest::prelude::*;
+
+const ALL_OPS: [(Op, Op); 4] = [
+    (Op::NoTrans, Op::NoTrans),
+    (Op::Trans, Op::NoTrans),
+    (Op::NoTrans, Op::Trans),
+    (Op::Trans, Op::Trans),
+];
+
+const ALPHA_BETA: [(f64, f64); 5] = [(1.0, 0.0), (2.0, 1.0), (-0.5, 0.25), (1.0, 1.0), (0.0, 2.0)];
+
+/// Operands shaped so `op(A)` is `m × k` and `op(B)` is `k × n`.
+fn operand_pair(m: usize, k: usize, n: usize, opa: Op, opb: Op, seed: u64) -> (Matrix, Matrix) {
+    let a = match opa {
+        Op::NoTrans => test_matrix(m, k, seed),
+        Op::Trans => test_matrix(k, m, seed),
+    };
+    let b = match opb {
+        Op::NoTrans => test_matrix(k, n, seed.wrapping_add(1)),
+        Op::Trans => test_matrix(n, k, seed.wrapping_add(1)),
+    };
+    (a, b)
+}
+
+/// Runs one batched-vs-looped comparison and asserts bitwise equality.
+/// `share_a`/`share_b` pick `Shared` (factor 0 used for every item) vs
+/// `Each`.
+#[allow(clippy::too_many_arguments)]
+fn check_batch(
+    par: Par<'_>,
+    m: usize,
+    k: usize,
+    n: usize,
+    batch: usize,
+    opa: Op,
+    opb: Op,
+    alpha: f64,
+    beta: f64,
+    share_a: bool,
+    share_b: bool,
+    seed: u64,
+) {
+    let pairs: Vec<(Matrix, Matrix)> = (0..batch)
+        .map(|i| operand_pair(m, k, n, opa, opb, seed.wrapping_add(100 * i as u64)))
+        .collect();
+    let a_of = |i: usize| &pairs[if share_a { 0 } else { i }].0;
+    let b_of = |i: usize| &pairs[if share_b { 0 } else { i }].1;
+
+    // Seed C with data so beta paths are exercised.
+    let c0: Vec<Matrix> = (0..batch)
+        .map(|i| test_matrix(m, n, seed.wrapping_add(7 + i as u64)))
+        .collect();
+
+    // Reference: one gemm_op per item.
+    let mut want = c0.clone();
+    for (i, ci) in want.iter_mut().enumerate() {
+        gemm_op(
+            Par::Seq,
+            alpha,
+            opa,
+            a_of(i).as_ref(),
+            opb,
+            b_of(i).as_ref(),
+            beta,
+            ci.as_mut(),
+        );
+    }
+
+    // Batched.
+    let mut got = c0;
+    {
+        let a_refs: Vec<_> = (0..batch).map(|i| a_of(i).as_ref()).collect();
+        let b_refs: Vec<_> = (0..batch).map(|i| b_of(i).as_ref()).collect();
+        let a_arg = if share_a {
+            BatchOperand::Shared(a_refs[0])
+        } else {
+            BatchOperand::Each(&a_refs)
+        };
+        let b_arg = if share_b {
+            BatchOperand::Shared(b_refs[0])
+        } else {
+            BatchOperand::Each(&b_refs)
+        };
+        let mut c_muts: Vec<_> = got.iter_mut().map(|c| c.as_mut()).collect();
+        gemm_batched(par, alpha, opa, a_arg, opb, b_arg, beta, &mut c_muts);
+    }
+
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g.as_slice(),
+            w.as_slice(),
+            "item {i} of {batch} not bitwise equal \
+             (m={m} k={k} n={n} opa={opa:?} opb={opb:?} alpha={alpha} beta={beta})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random small-path shapes, batch sizes, ops, scalars, sharing modes.
+    #[test]
+    fn batched_matches_looped_bitwise(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        batch in 1usize..=33,
+        op_idx in 0usize..4,
+        ab_idx in 0usize..5,
+        share_a in any::<bool>(),
+        share_b in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (opa, opb) = ALL_OPS[op_idx];
+        let (alpha, beta) = ALPHA_BETA[ab_idx];
+        check_batch(Par::Seq, m, k, n, batch, opa, opb, alpha, beta, share_a, share_b, seed);
+    }
+
+    /// The pool-partitioned batch must be bitwise equal to sequential
+    /// (each item's product is computed by the same sequential kernels,
+    /// whichever worker runs it).
+    #[test]
+    fn pool_batched_matches_sequential_bitwise(
+        batch in 1usize..=17,
+        op_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (opa, opb) = ALL_OPS[op_idx];
+        let pool = ThreadPool::new(4);
+        check_batch(Par::Pool(&pool), 24, 24, 24, batch, opa, opb, 1.0, 0.0, false, false, seed);
+    }
+}
+
+/// Deterministic remainder-shape sweep: every combination of full/partial
+/// register tiles for both the 8-row and 16-row tiers, depths straddling
+/// nothing (small path) and shapes crossing into the blocked fallback.
+#[test]
+fn remainder_and_fallback_shapes_bitwise() {
+    // (m, k, n): 8/16 boundaries, primes, the CLS hot sizes, and
+    // large-fallback shapes (> MC or > KC on some axis).
+    let shapes = [
+        (1, 1, 1),
+        (8, 8, 8),
+        (13, 7, 5),
+        (16, 16, 16),
+        (17, 16, 9),
+        (15, 9, 4),
+        (33, 29, 31),
+        (32, 32, 32),
+        (64, 64, 64),
+        (96, 50, 96),
+        (97, 30, 40),  // m > MC: blocked fallback
+        (40, 300, 40), // k > KC: blocked fallback
+    ];
+    for &(m, k, n) in &shapes {
+        for (opa, opb) in ALL_OPS {
+            for &batch in &[1usize, 2, 3, 8] {
+                check_batch(
+                    Par::Seq,
+                    m,
+                    k,
+                    n,
+                    batch,
+                    opa,
+                    opb,
+                    1.0,
+                    0.0,
+                    false,
+                    batch > 1,
+                    (m * 31 + k * 7 + n) as u64,
+                );
+            }
+        }
+    }
+}
+
+/// `chain_mul`'s small-chain fast path must match an explicit left-to-right
+/// loop of `mul` calls bitwise, including rectangular chains.
+#[test]
+fn chain_fast_path_bitwise() {
+    let chains: [&[(usize, usize)]; 3] = [
+        &[(24, 24), (24, 24), (24, 24), (24, 24)],
+        &[(13, 7), (7, 3), (3, 6), (6, 6)],
+        &[(64, 64), (64, 64)],
+    ];
+    for (ci, shapes) in chains.iter().enumerate() {
+        let ms: Vec<Matrix> = shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, c))| test_matrix(r, c, (ci * 10 + i) as u64))
+            .collect();
+        let refs: Vec<&Matrix> = ms.iter().collect();
+        let fast = chain_mul(Par::Seq, &refs);
+        let mut slow = ms[0].clone();
+        for f in &ms[1..] {
+            slow = mul(&slow, f);
+        }
+        assert_eq!(fast.as_slice(), slow.as_slice(), "chain {ci} differs");
+    }
+}
+
+/// Cross-tier equivalence: AVX-512 and AVX2 bitwise identical, scalar to
+/// 1e-13 relative. Runs every pairing the host supports; absent ISAs are
+/// noted and skipped.
+#[test]
+fn kernel_tiers_agree() {
+    let tiers = available_tiers();
+    for t in [Tier::Avx2, Tier::Avx512] {
+        if !tiers.contains(&t) {
+            eprintln!(
+                "note: kernel tier {} unavailable on this host — \
+                 cross-tier check for it skipped",
+                t.name()
+            );
+        }
+    }
+    // One representative workload per route: batched NN (direct kernels),
+    // batched TN (packed kernels), plain gemm (blocked engine), chain.
+    let run_all = || -> Vec<Matrix> {
+        let mut outs = Vec::new();
+        for &(m, k, n) in &[(17, 13, 9), (32, 32, 32), (64, 64, 64), (96, 40, 50)] {
+            for (opa, opb) in [(Op::NoTrans, Op::NoTrans), (Op::Trans, Op::NoTrans)] {
+                let pairs: Vec<(Matrix, Matrix)> = (0..5)
+                    .map(|i| operand_pair(m, k, n, opa, opb, 1000 + i))
+                    .collect();
+                let a_refs: Vec<_> = pairs.iter().map(|p| p.0.as_ref()).collect();
+                let b_refs: Vec<_> = pairs.iter().map(|p| p.1.as_ref()).collect();
+                let mut out: Vec<Matrix> = (0..5).map(|_| Matrix::zeros(m, n)).collect();
+                let mut c_muts: Vec<_> = out.iter_mut().map(|c| c.as_mut()).collect();
+                gemm_batched(
+                    Par::Seq,
+                    1.0,
+                    opa,
+                    BatchOperand::Each(&a_refs),
+                    opb,
+                    BatchOperand::Each(&b_refs),
+                    0.0,
+                    &mut c_muts,
+                );
+                drop(c_muts);
+                outs.extend(out);
+            }
+            // The blocked engine and the chain fast path under this tier.
+            let a = test_matrix(m, k, 2000);
+            let b = test_matrix(k, n, 2001);
+            outs.push(mul(&a, &b));
+            if m == n && k == m {
+                let f1 = test_matrix(m, m, 2002);
+                let f2 = test_matrix(m, m, 2003);
+                outs.push(chain_mul(Par::Seq, &[&f1, &f2, &a]));
+            }
+        }
+        outs
+    };
+    let per_tier: Vec<(Tier, Vec<Matrix>)> =
+        tiers.iter().map(|&t| (t, with_tier(t, run_all))).collect();
+    let (base_tier, base) = &per_tier[0];
+    assert_eq!(*base_tier, Tier::Scalar);
+    for (t, outs) in &per_tier[1..] {
+        for (i, (got, want)) in outs.iter().zip(base).enumerate() {
+            // Vector tiers vs scalar: FMA contraction changes rounding,
+            // bounded well below 1e-13 relative at these sizes.
+            let scale = want.max_abs().max(1.0);
+            let mut diff = got.clone();
+            diff.sub_assign(want);
+            assert!(
+                diff.max_abs() <= 1e-13 * scale,
+                "tier {} vs scalar: output {i} differs by {} (scale {scale})",
+                t.name(),
+                diff.max_abs()
+            );
+        }
+    }
+    // AVX-512 vs AVX2: same FMA chains, same writeback — bitwise.
+    if let (Some(a2), Some(a5)) = (
+        per_tier.iter().find(|(t, _)| *t == Tier::Avx2),
+        per_tier.iter().find(|(t, _)| *t == Tier::Avx512),
+    ) {
+        for (i, (x, y)) in a2.1.iter().zip(&a5.1).enumerate() {
+            assert_eq!(
+                x.as_slice(),
+                y.as_slice(),
+                "avx2 and avx512 must be bitwise identical (output {i})"
+            );
+        }
+    }
+}
+
+/// The thread-local tier override must not leak: after `with_tier`, the
+/// process default is back in force.
+#[test]
+fn with_tier_restores_dispatch() {
+    let before = fsi_dense::active_tier();
+    let a = test_matrix(20, 20, 5);
+    let b = test_matrix(20, 20, 6);
+    let under = with_tier(Tier::Scalar, || {
+        assert_eq!(fsi_dense::active_tier(), Tier::Scalar);
+        mul(&a, &b)
+    });
+    assert_eq!(fsi_dense::active_tier(), before);
+    let after = with_tier(Tier::Scalar, || mul(&a, &b));
+    assert_eq!(under.as_slice(), after.as_slice());
+}

@@ -39,6 +39,9 @@ pub fn cyclic_product_desc(par: Par<'_>, pc: &BlockPCyclic, from: usize, count: 
     }
     // chain_mul's ping-pong buffers bound the allocation count at two, no
     // matter how long the descent is (this runs L times per W matrix).
+    // Sequential small-N descents (the reference-Green workload at the
+    // paper's N ≤ 64 shapes) additionally ride chain_mul's no-pack direct
+    // kernel fast path — no per-product workspace borrows or fill passes.
     chain_mul(par, &factors)
 }
 

@@ -22,7 +22,17 @@
 //! that). Newly grown regions are zero-filled only because `Vec::resize`
 //! requires a fill value.
 
+use crate::metrics::LazyCounter;
 use std::cell::RefCell;
+
+/// Scratch borrows served (pool hit or miss): the denominator for pool
+/// churn. The batched small-GEMM paths exist to keep this flat across a
+/// refresh — one borrow per worker chunk instead of one per product.
+static BORROWS: LazyCounter = LazyCounter::new("runtime.workspace.borrows");
+/// Borrows that had to touch the allocator (empty pool, or a growing
+/// resize). Steady state should serve every borrow from the pool, so this
+/// counter staying near its warm-up value is the health signal.
+static ALLOCS: LazyCounter = LazyCounter::new("runtime.workspace.allocs");
 
 thread_local! {
     /// Per-thread stack of reusable buffers. Depth is bounded by the
@@ -38,7 +48,13 @@ thread_local! {
 /// borrow); the caller must overwrite before reading. Reentrant: `f` may
 /// itself call [`with_scratch`].
 pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
-    let mut buf = SCRATCH.with(|s| s.borrow_mut().pop()).unwrap_or_default();
+    BORROWS.inc();
+    let popped = SCRATCH.with(|s| s.borrow_mut().pop());
+    let pool_miss = popped.is_none();
+    let mut buf = popped.unwrap_or_default();
+    if pool_miss || buf.len() < len {
+        ALLOCS.inc();
+    }
     if buf.len() < len {
         buf.resize(len, 0.0);
     }

@@ -16,10 +16,13 @@
 //! rebuild. DQMC drivers that want hits must stabilize on a fixed residue —
 //! `c | stabilize_every` (the default configuration satisfies this).
 //!
-//! Correctness is bitwise, not approximate: stale products go through the
-//! exact same `cluster_product` path a cold [`crate::cls()`]
-//! run uses (deterministic GEMM writeback, PR 2), and clean products are
-//! reused verbatim. Each reused product opens a zero-flop
+//! Correctness is bitwise, not approximate: stale products rebuild through
+//! the per-cluster `cluster_product` chain, which performs the identical
+//! descending product sequence — through the same small-GEMM kernels with
+//! deterministic writeback — as a cold [`crate::cls()`] run's batched
+//! lockstep path, and clean products are reused verbatim. (Warm rebuilds
+//! stay per-cluster so each `cls.cache_miss` span carries exactly one
+//! chain's flops.) Each reused product opens a zero-flop
 //! `cls.cache_hit` span and each recomputation a `cls.cache_miss` span
 //! (whose inclusive flops are the chain's GEMM count), so `RunReport`
 //! exposes hit/miss counters without a side channel.

@@ -15,7 +15,11 @@
 //! `Ḡ(k₀, ℓ₀) = G(c·k₀ + o, c·ℓ₀ + o)` — clustering loses no information
 //! about the selected rows, it only changes which blocks are *directly*
 //! available. Cost `2b(c−1)N³`; the `b` cluster products are independent
-//! ("embarrassingly parallel", run under `parallel_map`).
+//! ("embarrassingly parallel"). In the sequential-GEMM modes they advance
+//! in lockstep through [`fsi_dense::gemm_batched`] — one batched engine
+//! dispatch per chain position instead of `b·(c−1)` small GEMM calls —
+//! while the MKL-style mode (pool inside each GEMM) keeps per-cluster
+//! chains under `parallel_map`.
 //!
 //! The cluster size trades reduction against round-off: each product chain
 //! multiplies `c` matrices whose singular values spread multiplicatively,
@@ -23,7 +27,7 @@
 //! Bai–Chen–Scalettar–Yamazaki and recommends `c ≈ √L`). The
 //! `ablation_cluster_size` bench sweeps this trade-off.
 
-use fsi_dense::{chain_mul, Matrix};
+use fsi_dense::{chain_mul, gemm_batched, BatchOperand, MatMut, MatRef, Matrix, Op};
 use fsi_pcyclic::BlockPCyclic;
 use fsi_runtime::{parallel_map, Par, Schedule};
 
@@ -91,9 +95,20 @@ pub fn cls(
     let o = c - 1 - q;
     static METER: fsi_runtime::metrics::Meter = fsi_runtime::metrics::Meter::new("selinv.cls");
     let _meter = METER.start(cls_flops(pc.n(), l, c));
-    let blocks = parallel_map(par_clusters, b, Schedule::Static, |m| {
-        cluster_product(par_gemm, pc.blocks(), c * m + o, c)
-    });
+    // The batched lockstep path streams all `b` chains through
+    // `gemm_batched` step by step (one engine dispatch per chain
+    // position). It is bitwise identical to the per-cluster path — each
+    // chain performs the same product sequence through the same small-GEMM
+    // kernels — but amortizes dispatch and accounting across the batch.
+    // The MKL-style mode (`par_gemm` holding the pool) keeps the
+    // per-cluster path so each product parallelizes internally.
+    let blocks = if par_gemm.threads() <= 1 {
+        cluster_products_batched(par_clusters, pc.blocks(), c, o)
+    } else {
+        parallel_map(par_clusters, b, Schedule::Static, |m| {
+            cluster_product(par_gemm, pc.blocks(), c * m + o, c)
+        })
+    };
     Clustered {
         reduced: BlockPCyclic::new(blocks),
         c,
@@ -102,15 +117,62 @@ pub fn cls(
     }
 }
 
+/// All `b` cluster chains advanced in lockstep: chain step `s` is one
+/// [`gemm_batched`] call multiplying every cluster's running product by
+/// its next (descending) factor with `beta = 0` store-mode writeback.
+/// Two `Vec<Matrix>` ping-pong as accumulator and output, so the whole
+/// refresh allocates `2b` matrices once and reuses them across steps.
+fn cluster_products_batched(par: Par<'_>, blocks: &[Matrix], c: usize, o: usize) -> Vec<Matrix> {
+    let l = blocks.len();
+    let b = l / c;
+    let n = blocks[0].rows();
+    static BATCH_METER: fsi_runtime::metrics::Meter =
+        fsi_runtime::metrics::Meter::new("selinv.cls.batch");
+    static BATCH_HIST: fsi_runtime::metrics::LazyHistogram =
+        fsi_runtime::metrics::LazyHistogram::new("selinv.cls.batch.clusters");
+    let _meter = BATCH_METER.start(cls_flops(n, l, c));
+    BATCH_HIST.record(b as u64);
+    // Chain start: b̄[m] ← b[c·m + o].
+    let mut acc: Vec<Matrix> = (0..b).map(|m| blocks[(c * m + o) % l].clone()).collect();
+    if c == 1 {
+        return acc;
+    }
+    let mut out: Vec<Matrix> = (0..b).map(|_| Matrix::zeros(n, n)).collect();
+    for s in 1..c {
+        // Step s multiplies every running product by b[c·m + o − s].
+        let accr: Vec<MatRef<'_>> = acc.iter().map(|m| m.as_ref()).collect();
+        let factors: Vec<MatRef<'_>> = (0..b)
+            .map(|m| blocks[(c * m + o + l - s) % l].as_ref())
+            .collect();
+        let mut outs: Vec<MatMut<'_>> = out.iter_mut().map(|m| m.as_mut()).collect();
+        gemm_batched(
+            par,
+            1.0,
+            Op::NoTrans,
+            BatchOperand::Each(&accr),
+            Op::NoTrans,
+            BatchOperand::Each(&factors),
+            0.0,
+            &mut outs,
+        );
+        drop(outs);
+        std::mem::swap(&mut acc, &mut out);
+    }
+    acc
+}
+
 /// Descending cyclic product of `count` blocks starting at `from`:
 /// `b[from]·b[from−1]⋯` (left-to-right accumulation, matching the paper's
 /// chain order). Delegates to [`chain_mul`], whose ping-pong buffers keep
 /// a `c`-factor chain at two allocations instead of one per factor.
 ///
 /// Takes a raw block slice rather than a [`BlockPCyclic`] so the
-/// incremental [`crate::cache::ClusterCache`] runs the *identical* code a
-/// cold [`cls`] would — the bitwise-equality contract between warm and
-/// cold refreshes rests on this shared path.
+/// incremental [`crate::cache::ClusterCache`] performs the *identical*
+/// product sequence a cold [`cls`] would. The bitwise-equality contract
+/// between warm and cold refreshes rests on every route — this per-cluster
+/// chain and the batched lockstep path of `cluster_products_batched` —
+/// executing the same descending factor products through the same
+/// small-GEMM kernels in the same accumulation order.
 pub(crate) fn cluster_product(
     par: Par<'_>,
     blocks: &[Matrix],
@@ -204,6 +266,21 @@ mod tests {
         }
         // Non-seed rows map to None.
         assert_eq!(cl.to_reduced(cl.offset() + 1), None);
+    }
+
+    #[test]
+    fn batched_cls_matches_per_cluster_chains_bitwise() {
+        // The lockstep batched path must reproduce the per-cluster chain
+        // products bit for bit — the warm/cold cache contract and the
+        // stabilization tests rest on this.
+        let pc = random_pcyclic(5, 12, 9);
+        let (c, q) = (4, 1);
+        let cl = cls(Par::Seq, Par::Seq, &pc, c, q);
+        let o = cl.offset();
+        for m in 0..cl.b() {
+            let want = cluster_product(Par::Seq, pc.blocks(), c * m + o, c);
+            assert_eq!(cl.reduced.block(m), &want, "cluster {m} differs");
+        }
     }
 
     #[test]

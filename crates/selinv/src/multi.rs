@@ -15,6 +15,14 @@
 //! per-rank budget (≈2.5 GB on Edison) is exceeded already at `N = 576`,
 //! so pure MPI configurations are infeasible exactly where the paper's
 //! OOM-killer anecdote places them.
+//!
+//! Each matrix's clustering stage is the batched small-GEMM hot shape: in
+//! the `Serial` and `OpenMp` rank configurations (`par_gemm` sequential)
+//! the per-matrix CLS rides [`fsi_dense::gemm_batched`]'s lockstep path,
+//! so a multi-matrix run issues one batched dispatch per chain position
+//! per matrix instead of `b·(c−1)` individual small products. The
+//! `selinv.multi.matrices` counter tracks driver progress in the metrics
+//! registry.
 
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
 use fsi_runtime::health::{FsiError, FsiResult};
@@ -104,9 +112,14 @@ pub fn run_multi(
         let mut qrng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9E37 ^ rank.id() as u64);
         let mut local = Vec::new();
         let mut failure: Option<FsiError> = None;
+        // Per-matrix progress counter: exporters can watch a long hybrid
+        // run advance matrix by matrix.
+        static MATRICES: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("selinv.multi.matrices");
         for flat in &my_fields {
             let field = HsField::from_flat(l, n, flat);
             let pc = hubbard_pcyclic(builder, &field, Spin::Up);
+            MATRICES.inc();
             // A failed inversion must not skip the collectives below (all
             // ranks participate or none return), so park the error.
             let out = match crate::fsi::fsi(par, &pc, cfg.pattern, cfg.c, &mut qrng) {
