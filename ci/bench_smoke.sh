@@ -73,6 +73,19 @@ cargo build --offline --release -p fsi-bench --bin fault_drill \
 ./target/release/fault_drill --smoke ${LABEL_ARG:+"$LABEL_ARG"} \
   --out=results/BENCH_fault_drill.json
 
+# The service smoke drives 1200 concurrent jobs through the work-stealing
+# job queue (throughput + latency percentiles), saturates a tiny queue to
+# prove admission rejects-with-reason, and (fault-inject build) checks
+# one injected NaN degrades exactly one job while neighbors stay bitwise
+# clean. Its structural asserts gate; its timing numbers are judged
+# warn-only by the sentinel below.
+echo "== bench_service --smoke =="
+cargo build --offline --release -p fsi-bench --bin bench_service \
+  --features fault-inject
+SERVICE_OUT="results/BENCH_service.json"
+./target/release/bench_service --smoke ${LABEL_ARG:+"$LABEL_ARG"} \
+  "--out=$SERVICE_OUT"
+
 # bench_bsofi asserts a >=1.5x selected-vs-dense wall-time win, which is a
 # *timing* property — informative, but a slow/noisy machine must not fail
 # the smoke gate, so it is tolerated here (its flop-attribution and bitwise
@@ -87,7 +100,7 @@ echo "== bench_bsofi (non-gating) =="
 # this lane (e.g. validate.json).
 echo "== bench_report (perf-regression sentinel) =="
 cargo build --offline --release -p fsi-bench --bin bench_report
-REPORT_ARGS=(--smoke --seed "--fresh=sweep:$SWEEP_OUT")
+REPORT_ARGS=(--smoke --seed "--fresh=sweep:$SWEEP_OUT" "--fresh=service:$SERVICE_OUT")
 [ -n "$KERNELS_OUT" ] && REPORT_ARGS+=("--fresh=kernels:$KERNELS_OUT")
 [ -n "$LABEL_ARG" ] && REPORT_ARGS+=("$LABEL_ARG")
 [ "$GATE" -eq 1 ] || REPORT_ARGS+=(--warn-only)

@@ -21,6 +21,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --offline --workspace --release
 
+# The doc gate spans every workspace member, including fsi-service,
+# which additionally compiles under #![deny(missing_docs)]: an
+# undocumented public item in the service API fails this step.
 echo "== cargo doc (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps
 

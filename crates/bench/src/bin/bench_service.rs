@@ -1,0 +1,316 @@
+//! Service-tier benchmark: drives the `fsi-service` job queue with
+//! thousands of concurrent tenant jobs and records job-latency
+//! percentiles, queue-wait, throughput, steal counts, and
+//! admission/degradation accounting to `results/BENCH_service.json`.
+//!
+//! Three phases:
+//!
+//! 1. **Throughput** — `jobs` small jobs from four tenants submitted
+//!    back-to-back (all resident in the bounded queue at once), drained
+//!    by a work-stealing worker pool; p50/p99 job latency and queue
+//!    wait, jobs/s, and `runtime.steal.*` deltas are recorded.
+//! 2. **Admission** — a deliberately tiny queue is saturated with
+//!    non-blocking submits; the rejected count proves the bound holds
+//!    (rejected-with-reason, never deadlock). A Fig. 9-sized spec
+//!    checks the memory-budget gate.
+//! 3. **Fault isolation** (`--features fault-inject`) — one injected
+//!    NaN among several jobs; the run asserts exactly one job degrades
+//!    via its per-job ladder and its neighbors' bins stay
+//!    bitwise-identical to a clean reference, recording the verdict as
+//!    `fault_isolated`.
+//!
+//! Usage: `bench_service [--smoke] [--label=NAME] [--out=PATH]
+//! [jobs=N] [workers=W] [sweeps=S]`
+//!
+//! `ci/bench_smoke.sh` runs `--smoke` as a non-gating step; the sentinel
+//! (`bench_report`) judges the summary warn-only against the checked-in
+//! baseline.
+
+use std::time::SystemTime;
+
+use fsi_bench::Args;
+#[cfg(feature = "fault-inject")]
+use fsi_pcyclic::{BlockBuilder, HubbardParams, SquareLattice};
+use fsi_runtime::metrics;
+use fsi_runtime::trace::Json;
+use fsi_runtime::Stopwatch;
+#[cfg(feature = "fault-inject")]
+use fsi_selinv::{generate_fields, trace_measure, MatrixTask, Parallelism};
+use fsi_service::{AdmitError, JobSpec, Service, ServiceConfig};
+
+const SIDE: usize = 2;
+const L: usize = 8;
+const C: usize = 4;
+const TENANTS: [&str; 4] = ["alice", "bob", "carol", "dan"];
+
+fn spec(tenant: &str, sweeps: usize, seed: u64) -> JobSpec {
+    JobSpec::new(tenant, SIDE, L, C, sweeps, seed)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+struct ThroughputStats {
+    jobs: usize,
+    bins: usize,
+    completed: usize,
+    failed: usize,
+    seconds: f64,
+    p50_latency_ns: u64,
+    p99_latency_ns: u64,
+    p50_queue_wait_ns: u64,
+    p99_queue_wait_ns: u64,
+    steals: u64,
+    steal_tasks_moved: u64,
+}
+
+/// Phase 1: all jobs resident in the queue at once, drained by stealing
+/// workers.
+fn throughput_phase(jobs: usize, sweeps: usize, workers: usize) -> ThroughputStats {
+    let mut cfg = ServiceConfig::small(workers);
+    // Every job queued concurrently: the bound is sized to the offered
+    // load so admission never rejects in this phase.
+    cfg.queue_capacity = jobs * sweeps;
+    let service = Service::start(cfg);
+    let handle = service.handle();
+    let before = metrics::snapshot();
+    let sw = Stopwatch::start();
+    let submitted: Vec<_> = (0..jobs)
+        .map(|j| {
+            let tenant = TENANTS[j % TENANTS.len()];
+            handle
+                .submit(spec(tenant, sweeps, j as u64))
+                .expect("queue sized to the offered load")
+        })
+        .collect();
+    let outcomes: Vec<_> = submitted.into_iter().map(|h| h.wait()).collect();
+    let seconds = sw.seconds();
+    let delta = metrics::snapshot().delta_since(&before);
+    service.shutdown();
+
+    let mut latencies: Vec<u64> = outcomes.iter().map(|o| o.summary.latency_ns).collect();
+    let mut waits: Vec<u64> = outcomes.iter().map(|o| o.summary.queue_wait_ns).collect();
+    latencies.sort_unstable();
+    waits.sort_unstable();
+    let counter = |name: &str| delta.counters.get(name).copied().unwrap_or(0);
+    ThroughputStats {
+        jobs,
+        bins: outcomes.iter().map(|o| o.bins.len()).sum(),
+        completed: outcomes.iter().filter(|o| !o.summary.failed).count(),
+        failed: outcomes.iter().filter(|o| o.summary.failed).count(),
+        seconds,
+        p50_latency_ns: percentile(&latencies, 0.50),
+        p99_latency_ns: percentile(&latencies, 0.99),
+        p50_queue_wait_ns: percentile(&waits, 0.50),
+        p99_queue_wait_ns: percentile(&waits, 0.99),
+        steals: counter("runtime.steal.hits"),
+        steal_tasks_moved: counter("runtime.steal.tasks_moved"),
+    }
+}
+
+/// Phase 2: saturate a tiny queue with non-blocking submits and count
+/// the rejections; check the memory gate with a Fig. 9 OOM shape.
+fn admission_phase(workers: usize) -> (usize, usize, bool) {
+    let mut cfg = ServiceConfig::small(workers);
+    cfg.queue_capacity = 64;
+    let service = Service::start(cfg);
+    let handle = service.handle();
+    let mut accepted = Vec::new();
+    let mut rejected = 0usize;
+    for j in 0..200 {
+        match handle.submit(spec("burst", 2, j)) {
+            Ok(h) => accepted.push(h),
+            Err(AdmitError::QueueFull { .. }) => rejected += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    // The paper's pure-MPI OOM point (N = 576, L = 100, c = 10) must be
+    // refused by the Edison memory model with a full worker complement.
+    let mut cfg = ServiceConfig::small(24);
+    cfg.memory = fsi_selinv::MemoryModel::edison();
+    let mem_service = Service::start(cfg);
+    let mut big = JobSpec::new("oom", 24, 100, 10, 1, 0);
+    big.pattern = fsi_selinv::Pattern::Columns;
+    let memory_gate_holds = matches!(
+        mem_service.handle().submit(big),
+        Err(AdmitError::MemoryBudget { .. })
+    );
+    mem_service.shutdown();
+    for h in accepted.drain(..) {
+        let o = h.wait();
+        assert!(!o.summary.failed, "burst jobs must complete");
+    }
+    service.shutdown();
+    (200 - rejected, rejected, memory_gate_holds)
+}
+
+/// Phase 3 (fault-inject builds): one injected NaN among `jobs` jobs;
+/// returns `(degraded_jobs, fault_isolated)` where `fault_isolated` is 1
+/// iff exactly one job degraded and every other job's bins match the
+/// clean per-sweep reference bitwise.
+#[cfg(feature = "fault-inject")]
+fn fault_phase(workers: usize) -> (usize, u64) {
+    use fsi_runtime::health::inject::{self, FaultKind, Site, ANY_BLOCK};
+    use fsi_runtime::health::Stage;
+
+    let _guard = inject::test_lock();
+    let specs: Vec<JobSpec> = (0..8)
+        .map(|i| spec(TENANTS[i % TENANTS.len()], 4, 7000 + i as u64))
+        .collect();
+    let references: Vec<Vec<Vec<f64>>> = specs.iter().map(reference_bins).collect();
+    inject::arm_times(
+        Site {
+            stage: Stage::Wrap,
+            block: ANY_BLOCK,
+            kind: FaultKind::Nan,
+        },
+        1,
+    );
+    let service = Service::start(ServiceConfig::small(workers));
+    let handle = service.handle();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|s| handle.submit(s.clone()).expect("admitted"))
+        .collect();
+    let outcomes: Vec<_> = handles.into_iter().map(|h| h.wait()).collect();
+    service.shutdown();
+    inject::disarm();
+
+    let degraded: Vec<usize> = outcomes
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.summary.degradations > 0)
+        .map(|(i, _)| i)
+        .collect();
+    let neighbors_clean = outcomes.iter().enumerate().all(|(i, o)| {
+        degraded.contains(&i) || o.bins.iter().all(|(sweep, q)| q == &references[i][*sweep])
+    });
+    let all_recovered = outcomes.iter().all(|o| !o.summary.failed);
+    let isolated = (degraded.len() == 1 && neighbors_clean && all_recovered) as u64;
+    (degraded.len(), isolated)
+}
+
+/// Clean per-sweep reference bins for a spec (same deterministic task
+/// pipeline the service runs).
+#[cfg(feature = "fault-inject")]
+fn reference_bins(spec: &JobSpec) -> Vec<Vec<f64>> {
+    let builder = BlockBuilder::new(
+        SquareLattice::square(spec.side),
+        HubbardParams::paper_validation(spec.l),
+    );
+    generate_fields(spec.l, spec.n_sites(), spec.sweeps, spec.seed)
+        .into_iter()
+        .enumerate()
+        .map(|(sweep, field)| {
+            let mut task = MatrixTask::new(sweep, field, spec.c, spec.pattern, spec.seed);
+            task.run(Parallelism::Serial, &builder, &trace_measure)
+                .expect("clean reference run");
+            task.into_quantities().1
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let label = args
+        .flag_value("label")
+        .unwrap_or(if smoke { "smoke" } else { "full" })
+        .to_string();
+    let out = args
+        .flag_value("out")
+        .unwrap_or("results/BENCH_service.json")
+        .to_string();
+    let default_jobs = if smoke { 1200 } else { 2400 };
+    let jobs = args.get_usize("jobs", default_jobs);
+    let sweeps = args.get_usize("sweeps", 2);
+    let workers = args.get_usize("workers", fsi_runtime::default_threads().clamp(2, 8));
+
+    println!("bench_service: {jobs} jobs x {sweeps} sweeps on {workers} workers (label={label})");
+    let t = throughput_phase(jobs, sweeps, workers);
+    println!(
+        "  throughput: {:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms, {} steals",
+        t.jobs as f64 / t.seconds,
+        ms(t.p50_latency_ns),
+        ms(t.p99_latency_ns),
+        t.steals
+    );
+    let (accepted, rejected, memory_gate_holds) = admission_phase(workers);
+    println!("  admission: {accepted} accepted, {rejected} rejected, memory gate holds: {memory_gate_holds}");
+    assert!(rejected > 0, "the admission phase must saturate the queue");
+    assert!(memory_gate_holds, "the Fig. 9 OOM shape must be refused");
+
+    #[cfg(feature = "fault-inject")]
+    let (degraded_jobs, fault_isolated) = fault_phase(workers);
+    #[cfg(feature = "fault-inject")]
+    println!("  fault: {degraded_jobs} degraded job(s), isolated={fault_isolated}");
+
+    #[cfg_attr(not(feature = "fault-inject"), allow(unused_mut))]
+    let mut summary = vec![
+        ("jobs".into(), Json::Int(t.jobs as u64)),
+        ("bins".into(), Json::Int(t.bins as u64)),
+        ("completed".into(), Json::Int(t.completed as u64)),
+        ("failed_jobs".into(), Json::Int(t.failed as u64)),
+        (
+            "jobs_per_s".into(),
+            Json::Num(t.jobs as f64 / t.seconds.max(1e-9)),
+        ),
+        ("p50_latency_ms".into(), Json::Num(ms(t.p50_latency_ns))),
+        ("p99_latency_ms".into(), Json::Num(ms(t.p99_latency_ns))),
+        (
+            "p50_queue_wait_ms".into(),
+            Json::Num(ms(t.p50_queue_wait_ns)),
+        ),
+        (
+            "p99_queue_wait_ms".into(),
+            Json::Num(ms(t.p99_queue_wait_ns)),
+        ),
+        ("steals".into(), Json::Int(t.steals)),
+        ("steal_tasks_moved".into(), Json::Int(t.steal_tasks_moved)),
+        ("rejected".into(), Json::Int(rejected as u64)),
+    ];
+    #[cfg(feature = "fault-inject")]
+    {
+        summary.push(("degraded_jobs".into(), Json::Int(degraded_jobs as u64)));
+        summary.push(("fault_isolated".into(), Json::Int(fault_isolated)));
+    }
+
+    let unix_ms = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    let json = Json::Obj(vec![
+        ("kind".into(), Json::Str("bench_service".into())),
+        ("schema".into(), Json::Int(1)),
+        ("label".into(), Json::Str(label)),
+        ("unix_ms".into(), Json::Int(unix_ms)),
+        ("smoke".into(), Json::Bool(smoke)),
+        (
+            "shape".into(),
+            Json::Obj(vec![
+                ("N".into(), Json::Int((SIDE * SIDE) as u64)),
+                ("L".into(), Json::Int(L as u64)),
+                ("c".into(), Json::Int(C as u64)),
+                ("sweeps".into(), Json::Int(sweeps as u64)),
+                ("workers".into(), Json::Int(workers as u64)),
+            ]),
+        ),
+        ("summary".into(), Json::Obj(summary)),
+    ]);
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
+    }
+    std::fs::write(&out, json.to_string()).expect("write bench json");
+    println!("wrote {out}");
+}

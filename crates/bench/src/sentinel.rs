@@ -67,7 +67,14 @@ fn sample(name: impl Into<String>, value: f64, policy: Policy) -> MetricSample {
 }
 
 /// The benchmark families the sentinel knows how to read.
-pub const FAMILIES: [&str; 5] = ["kernels", "sweep", "bsofi", "fault_drill", "validate"];
+pub const FAMILIES: [&str; 6] = [
+    "kernels",
+    "sweep",
+    "bsofi",
+    "fault_drill",
+    "validate",
+    "service",
+];
 
 /// The artifact filename of a family (under `results/` or a baseline
 /// dir).
@@ -78,6 +85,7 @@ pub fn family_file(family: &str) -> &'static str {
         "bsofi" => "BENCH_bsofi.json",
         "fault_drill" => "BENCH_fault_drill.json",
         "validate" => "validate.json",
+        "service" => "BENCH_service.json",
         other => panic!("unknown benchmark family {other:?}"),
     }
 }
@@ -250,6 +258,36 @@ pub fn extract(family: &str, doc: &Json) -> Result<Vec<MetricSample>, String> {
                         ));
                     }
                 }
+            }
+        }
+        "service" => {
+            let summary = run.get("summary").ok_or("service: no summary")?;
+            let Json::Obj(fields) = summary else {
+                return Err("service: summary is not an object".into());
+            };
+            for (key, value) in fields {
+                let Some(v) = value.as_f64() else { continue };
+                let policy = match key.as_str() {
+                    // Deterministic accounting: job/bin/degradation
+                    // counts and the fault-isolation verdict must not
+                    // drift.
+                    "jobs" | "bins" | "completed" | "failed_jobs" | "degraded_jobs"
+                    | "fault_isolated" => Policy::Exact,
+                    // Throughput is timing-derived.
+                    "jobs_per_s" => Policy::HigherBetter {
+                        rel_tol: TIMING_REL_TOL,
+                    },
+                    // Latency percentiles are queue-dominated (sweeps
+                    // ride a contended deque), so they get a wider
+                    // lower-is-better band than kernel timings.
+                    k if k.ends_with("_latency_ms") || k.ends_with("_queue_wait_ms") => {
+                        Policy::LowerBetter { rel_tol: 0.5 }
+                    }
+                    // steals / rejected vary with scheduling luck:
+                    // informational only.
+                    _ => continue,
+                };
+                out.push(sample(format!("summary.{key}"), v, policy));
             }
         }
         other => return Err(format!("unknown family {other:?}")),
@@ -539,6 +577,35 @@ mod tests {
         assert_eq!(rungs.value, 3.0);
         // The noisy probe estimate must stay informational (not judged).
         assert!(!m.iter().any(|s| s.name == "probe_overhead_pct"));
+    }
+
+    #[test]
+    fn service_counts_are_exact_latencies_are_banded() {
+        let doc = parse(
+            r#"{"summary":{"jobs":1200,"completed":1200,"failed_jobs":0,
+                "degraded_jobs":1,"fault_isolated":1,"jobs_per_s":800.0,
+                "p50_latency_ms":4.0,"p99_latency_ms":22.0,
+                "p99_queue_wait_ms":18.0,"steals":37,"rejected":12}}"#,
+        );
+        let m = extract("service", &doc).unwrap();
+        let by = |n: &str| m.iter().find(|s| s.name == format!("summary.{n}"));
+        assert_eq!(by("jobs").unwrap().policy, Policy::Exact);
+        assert_eq!(by("fault_isolated").unwrap().policy, Policy::Exact);
+        assert!(matches!(
+            by("jobs_per_s").unwrap().policy,
+            Policy::HigherBetter { .. }
+        ));
+        assert!(matches!(
+            by("p99_latency_ms").unwrap().policy,
+            Policy::LowerBetter { .. }
+        ));
+        assert!(matches!(
+            by("p99_queue_wait_ms").unwrap().policy,
+            Policy::LowerBetter { .. }
+        ));
+        // Scheduling-luck counters stay informational.
+        assert!(by("steals").is_none());
+        assert!(by("rejected").is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   collectives the paper uses (`Scatter`, `Gather`, `Broadcast`, `Reduce`,
 //!   `Allreduce`, `Barrier`). This is the MPI analog used by the multi-matrix
 //!   driver (Alg. 3) and the Fig. 9 hybrid sweep.
+//! * [`steal`] — per-worker task deques with Cilk-style steal-half load
+//!   balancing. The multi-matrix service tier schedules whole selected
+//!   inversions through [`StealQueues`] instead of Alg. 3's static
+//!   scatter, so mixed-shape tenant jobs cannot strand a rank idle.
 //! * [`flops`] — analytic floating-point-operation accounting. The paper
 //!   reports Gflop/s rates for each FSI stage; our dense kernels add their
 //!   textbook flop counts to a global counter so harnesses can report the
@@ -49,6 +53,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod pool;
 pub mod sim;
+pub mod steal;
 pub mod timing;
 pub mod trace;
 pub mod workspace;
@@ -59,6 +64,7 @@ pub use health::{FsiError, FsiResult, HealthEvent, Stage};
 pub use metrics::{Meter, MetricsSnapshot};
 pub use parallel::{join, parallel_for, parallel_map, pipeline, Schedule};
 pub use pool::{Par, PoolStats, ScopeHandle, ThreadPool, WorkerStats};
+pub use steal::StealQueues;
 pub use timing::{Profile, Stopwatch};
 pub use trace::{RunReport, SpanGuard, SpanStats, TraceLevel};
 

@@ -51,7 +51,10 @@ pub use cache::ClusterCache;
 pub use cls::{cls, cls_flops, cls_incremental_flops, Clustered};
 pub use flops::{bsofi_selected_flops, structured_qr_flops};
 pub use fsi::{fsi, fsi_with_q, FsiOutput, Parallelism, ReducedInverse};
-pub use multi::{run_multi, MemoryModel, MultiConfig, MultiResult};
+pub use multi::{
+    generate_fields, per_rank_bytes, run_multi, shift_for, trace_measure, JobStep, MatrixTask,
+    MemoryModel, MultiConfig, MultiResult, Scheduling,
+};
 pub use patterns::{Pattern, SelectedInverse, SelectedPattern, Selection};
 pub use stability::{auto_cluster_size, growth_rate, max_stable_cluster};
 pub use tridiag::{random_tridiagonal, BlockTridiagonal, TridiagFactor};

@@ -4,10 +4,29 @@
 //! DQMC needs selected inversions of *tens of thousands* of independent
 //! p-cyclic matrices. Alg. 3 distributes them over MPI ranks: the root
 //! generates the Hubbard–Stratonovich field parameters `h` (cheap to ship,
-//! unlike the matrices), scatters them, each rank builds its matrices
-//! locally and runs the OpenMP FSI per matrix, and local measurement
-//! quantities are combined with `MPI_Reduce`. This module reproduces that
-//! loop on the in-process ranks of [`fsi_runtime::comm`].
+//! unlike the matrices), each rank builds its matrices locally and runs
+//! the OpenMP FSI per matrix, and local measurement quantities are
+//! combined with `MPI_Reduce`. This module reproduces that loop on the
+//! in-process ranks of [`fsi_runtime::comm`], with the per-matrix stage
+//! loop factored into a resumable [`MatrixTask`] state machine
+//! ([`JobStep`]) that schedulers can interleave.
+//!
+//! Two [`Scheduling`] disciplines drive the same task machinery:
+//!
+//! * [`Scheduling::Static`] is the paper-literal Alg. 3 — a block scatter
+//!   fixed at submit time, one in-process rank per share, collectives for
+//!   the reduction.
+//! * [`Scheduling::WorkStealing`] (the default) seeds the same block
+//!   distribution into per-worker deques ([`fsi_runtime::StealQueues`])
+//!   and lets idle workers steal half of the fullest victim's backlog —
+//!   the shape the `fsi-service` crate builds its multi-tenant job queue
+//!   on.
+//!
+//! Both disciplines produce **bitwise-identical** results for the same
+//! `(seed, matrices, c, pattern)`: fields come from one root RNG stream
+//! in matrix order, each matrix's shift `q` is derived from
+//! `(seed, index)` alone (never from the rank that happens to run it),
+//! and measurement vectors are summed in matrix-index order.
 //!
 //! The memory model captures why the paper's Fig. 9 favors the hybrid
 //! configuration: a rank must hold its matrix, the reduced inverse `Ḡ`,
@@ -24,14 +43,30 @@
 //! `selinv.multi.matrices` counter tracks driver progress in the metrics
 //! registry.
 
-use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, HsField, Spin};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, BlockPCyclic, HsField, Spin};
 use fsi_runtime::health::{FsiError, FsiResult};
-use fsi_runtime::{comm, Stopwatch, ThreadPool};
-use rand::SeedableRng;
+use fsi_runtime::{comm, StealQueues, Stopwatch, ThreadPool};
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::fsi::Parallelism;
-use crate::patterns::{Pattern, SelectedInverse};
+use crate::fsi::{FsiOutput, Parallelism};
+use crate::patterns::{Pattern, SelectedInverse, Selection};
+
+/// How a multi-matrix run distributes matrices over workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Scheduling {
+    /// The paper-literal Alg. 3: a block scatter fixed at submit time,
+    /// executed on in-process ranks with collectives.
+    Static,
+    /// Per-worker deques with steal-half rebalancing
+    /// ([`fsi_runtime::StealQueues`]); tolerates heterogeneous per-matrix
+    /// cost without stranding workers idle.
+    #[default]
+    WorkStealing,
+}
 
 /// Configuration of a multi-matrix FSI run.
 #[derive(Clone, Debug)]
@@ -48,6 +83,8 @@ pub struct MultiConfig {
     pub pattern: Pattern,
     /// RNG seed for field generation and the per-matrix shift `q`.
     pub seed: u64,
+    /// Task distribution discipline.
+    pub scheduling: Scheduling,
 }
 
 /// Result of a multi-matrix run.
@@ -66,40 +103,304 @@ pub struct MultiResult {
 /// paper's `local_measurement_quantities` → `MPI_Reduce`).
 pub type MeasureFn = dyn Fn(&SelectedInverse) -> Vec<f64> + Sync;
 
-/// Runs Alg. 3: scatter fields from the root, per-rank FSI over the local
-/// share of matrices, reduce measurement vectors to the root.
+/// Where a [`MatrixTask`] stands in its stage pipeline.
+///
+/// The steps mirror the per-matrix body of Alg. 3: build the p-cyclic
+/// matrix from the scattered field, run the selected inversion (Alg. 1),
+/// measure. A scheduler may park a task between any two steps and resume
+/// it on a different worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStep {
+    /// Assemble the block p-cyclic matrix from the HS field.
+    Build,
+    /// Run FSI (CLS → BSOFI → wrap) on the built matrix.
+    Invert,
+    /// Reduce the selected inversion to measurement quantities.
+    Measure,
+    /// All stages complete; [`MatrixTask::quantities`] is available.
+    Done,
+}
+
+/// One matrix's resumable unit of work.
+///
+/// Owns the HS field and all intermediate state, so a scheduler can
+/// advance it step by step ([`MatrixTask::step`]) or to completion
+/// ([`MatrixTask::run`]) on whichever worker holds it. The shift `q` is
+/// derived from `(seed, index, c)` alone, so results are independent of
+/// which worker executes the task and in what order.
+///
+/// [`MatrixTask::degrade`] implements the per-job rung of the §II-C
+/// recovery ladder: it halves the cluster size and rewinds the task to
+/// [`JobStep::Build`], so one sick job retries smaller without touching
+/// its neighbors.
+pub struct MatrixTask {
+    index: usize,
+    field: HsField,
+    c: usize,
+    pattern: Pattern,
+    seed: u64,
+    step: JobStep,
+    pc: Option<BlockPCyclic>,
+    out: Option<FsiOutput>,
+    quantities: Option<Vec<f64>>,
+    degradations: u32,
+}
+
+impl MatrixTask {
+    /// Creates a task for matrix `index` with the given field and
+    /// selection parameters. `seed` is the *run* seed; the per-matrix
+    /// shift is derived from it and `index` (see [`shift_for`]).
+    pub fn new(index: usize, field: HsField, c: usize, pattern: Pattern, seed: u64) -> Self {
+        assert!(c > 0, "cluster size must be positive");
+        MatrixTask {
+            index,
+            field,
+            c,
+            pattern,
+            seed,
+            step: JobStep::Build,
+            pc: None,
+            out: None,
+            quantities: None,
+            degradations: 0,
+        }
+    }
+
+    /// The matrix index this task computes.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The cluster size the task currently runs with (shrinks on
+    /// [`MatrixTask::degrade`]).
+    pub fn c(&self) -> usize {
+        self.c
+    }
+
+    /// How many times [`MatrixTask::degrade`] has fired.
+    pub fn degradations(&self) -> u32 {
+        self.degradations
+    }
+
+    /// The current pipeline position.
+    pub fn step_now(&self) -> JobStep {
+        self.step
+    }
+
+    /// Whether the task has completed all stages.
+    pub fn is_done(&self) -> bool {
+        self.step == JobStep::Done
+    }
+
+    /// The measurement quantities, once [`JobStep::Done`].
+    pub fn quantities(&self) -> Option<&[f64]> {
+        self.quantities.as_deref()
+    }
+
+    /// Consumes the task, returning `(index, quantities)`.
+    ///
+    /// # Panics
+    /// If the task is not [`JobStep::Done`].
+    pub fn into_quantities(self) -> (usize, Vec<f64>) {
+        (
+            self.index,
+            self.quantities.expect("task must be Done before harvest"),
+        )
+    }
+
+    /// Advances the pipeline by exactly one step and returns the *new*
+    /// position. A no-op at [`JobStep::Done`].
+    ///
+    /// # Errors
+    /// Propagates health-probe failures from the inversion; the task
+    /// stays at its current step so the caller may [`MatrixTask::degrade`]
+    /// and retry.
+    pub fn step(
+        &mut self,
+        par: Parallelism<'_>,
+        builder: &BlockBuilder,
+        measure: &MeasureFn,
+    ) -> FsiResult<JobStep> {
+        static MATRICES: fsi_runtime::metrics::LazyCounter =
+            fsi_runtime::metrics::LazyCounter::new("selinv.multi.matrices");
+        match self.step {
+            JobStep::Build => {
+                self.pc = Some(hubbard_pcyclic(builder, &self.field, Spin::Up));
+                self.step = JobStep::Invert;
+            }
+            JobStep::Invert => {
+                let pc = self.pc.as_ref().expect("Build ran before Invert");
+                let q = shift_for(self.seed, self.index, self.c);
+                let selection = Selection::new(self.pattern, self.c, q);
+                self.out = Some(crate::fsi::fsi_with_q(par, pc, &selection)?);
+                self.step = JobStep::Measure;
+            }
+            JobStep::Measure => {
+                let out = self.out.as_ref().expect("Invert ran before Measure");
+                self.quantities = Some(measure(&out.selected));
+                MATRICES.inc();
+                self.step = JobStep::Done;
+            }
+            JobStep::Done => {}
+        }
+        Ok(self.step)
+    }
+
+    /// Runs the remaining steps to completion.
+    ///
+    /// # Errors
+    /// First health-probe failure; see [`MatrixTask::step`].
+    pub fn run(
+        &mut self,
+        par: Parallelism<'_>,
+        builder: &BlockBuilder,
+        measure: &MeasureFn,
+    ) -> FsiResult<()> {
+        while self.step(par, builder, measure)? != JobStep::Done {}
+        Ok(())
+    }
+
+    /// Shrinks the cluster size (the §II-C "shrink `c`" rung scoped to
+    /// this one task) and rewinds the pipeline to [`JobStep::Build`].
+    ///
+    /// An even `c` halves (`c | L` and `2 | c` imply `c/2 | L`, so the
+    /// clustering stays legal); an odd `c > 1` drops to 1 (plain block
+    /// LU, no clustering). Returns `false` — without changing anything —
+    /// once `c == 1`, the ladder's floor.
+    pub fn degrade(&mut self) -> bool {
+        if self.c == 1 {
+            return false;
+        }
+        self.c = if self.c.is_multiple_of(2) {
+            self.c / 2
+        } else {
+            1
+        };
+        self.degradations += 1;
+        self.step = JobStep::Build;
+        self.pc = None;
+        self.out = None;
+        self.quantities = None;
+        true
+    }
+}
+
+/// The deterministic per-matrix shift `q ∈ [0, c)` (paper: "select `q`
+/// randomly").
+///
+/// Derived from `(seed, index, c)` only — *not* from the rank or worker
+/// executing the matrix — so static and work-stealing schedules produce
+/// bitwise-identical selected inversions.
+pub fn shift_for(seed: u64, index: usize, c: usize) -> usize {
+    let mix = seed ^ 0x9E37 ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ChaCha8Rng::seed_from_u64(mix).gen_range(0..c)
+}
+
+/// Generates the HS fields for a run: one [`ChaCha8Rng`] stream seeded by
+/// `seed`, drawn in matrix order — the root-side generation of Alg. 3,
+/// shared by both scheduling paths and the `fsi-service` job runner.
+pub fn generate_fields(l: usize, n: usize, matrices: usize, seed: u64) -> Vec<HsField> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..matrices)
+        .map(|_| HsField::random(l, n, &mut rng))
+        .collect()
+}
+
+/// Sums per-matrix measurement vectors in matrix-index order, so the
+/// global reduction is bitwise-reproducible across rank counts and
+/// scheduling disciplines (float addition is not associative; fixing the
+/// order fixes the sum).
+fn ordered_sum(mut pairs: Vec<(usize, Vec<f64>)>) -> Vec<f64> {
+    pairs.sort_by_key(|(i, _)| *i);
+    let mut acc: Vec<f64> = Vec::new();
+    for (_, q) in pairs {
+        if acc.is_empty() {
+            acc = q;
+        } else {
+            assert_eq!(acc.len(), q.len(), "measure length varies");
+            for (a, v) in acc.iter_mut().zip(q) {
+                *a += v;
+            }
+        }
+    }
+    acc
+}
+
+/// Runs Alg. 3: distribute fields over workers, per-worker FSI over the
+/// local share of matrices, reduce measurement vectors in matrix order.
 ///
 /// The spin is fixed to [`Spin::Up`]; DQMC proper (both spins, Metropolis
 /// dynamics) lives in the `fsi-dqmc` crate — this driver is the
-/// performance harness of the paper's §V-B.
+/// performance harness of the paper's §V-B. The scheduling discipline is
+/// chosen by [`MultiConfig::scheduling`]; both disciplines give the same
+/// bits for the same seed (see the module docs).
+///
+/// ```
+/// use fsi_selinv::{run_multi, trace_measure, MultiConfig, Pattern, Scheduling};
+/// use fsi_pcyclic::{BlockBuilder, HubbardParams, SquareLattice};
+///
+/// let builder = BlockBuilder::new(
+///     SquareLattice::square(2),
+///     HubbardParams::paper_validation(8),
+/// );
+/// let cfg = MultiConfig {
+///     ranks: 2,
+///     threads_per_rank: 1,
+///     matrices: 3,
+///     c: 4,
+///     pattern: Pattern::Diagonal,
+///     seed: 1,
+///     scheduling: Scheduling::WorkStealing,
+/// };
+/// let result = run_multi(&builder, &cfg, &trace_measure).unwrap();
+/// // One diagonal selection per cluster: 3 matrices × (L/c = 2) blocks.
+/// assert_eq!(result.global_measurements[1], 6.0);
+/// ```
 ///
 /// # Errors
-/// Any rank whose FSI invocation trips a health probe aborts its local
-/// loop, still participates in the collectives (with a zero contribution,
-/// so no rank deadlocks), and surfaces the first [`FsiError`] here.
+/// Any worker whose FSI invocation trips a health probe aborts the run;
+/// remaining queued matrices are drained unprocessed and the failure with
+/// the lowest matrix index is surfaced.
 pub fn run_multi(
     builder: &BlockBuilder,
     cfg: &MultiConfig,
     measure: &MeasureFn,
 ) -> FsiResult<MultiResult> {
     assert!(cfg.ranks > 0 && cfg.threads_per_rank > 0 && cfg.matrices > 0);
+    let sw = Stopwatch::start();
+    let pairs = match cfg.scheduling {
+        Scheduling::Static => run_static(builder, cfg, measure)?,
+        Scheduling::WorkStealing => run_stealing(builder, cfg, measure)?,
+    };
+    Ok(MultiResult {
+        global_measurements: ordered_sum(pairs),
+        seconds: sw.seconds(),
+        matrices: cfg.matrices,
+    })
+}
+
+/// The paper-literal path: root generates and scatters fields, each rank
+/// runs its block share, per-matrix vectors are gathered at the root.
+fn run_static(
+    builder: &BlockBuilder,
+    cfg: &MultiConfig,
+    measure: &MeasureFn,
+) -> FsiResult<Vec<(usize, Vec<f64>)>> {
     let l = builder.params().l;
     let n = builder.lattice().n_sites();
-    let sw = Stopwatch::start();
     let results = comm::run(cfg.ranks, |rank| {
         // Root generates all HS fields (as flat ±1 vectors) and scatters
         // each rank its share, mirroring MPI_Scatter of `h`.
         let shares: Option<Vec<Vec<Vec<i8>>>> = rank.is_root().then(|| {
-            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            let fields = generate_fields(l, n, cfg.matrices, cfg.seed);
             let mut shares: Vec<Vec<Vec<i8>>> = vec![Vec::new(); rank.size()];
-            for m in 0..cfg.matrices {
-                let field = HsField::random(l, n, &mut rng);
-                let dest = owner_of(m, cfg.matrices, rank.size());
-                shares[dest].push(field.to_flat());
+            for (m, field) in fields.iter().enumerate() {
+                shares[owner_of(m, cfg.matrices, rank.size())].push(field.to_flat());
             }
             shares
         });
         let my_fields: Vec<Vec<i8>> = rank.scatter(shares, 1);
+        let my_range = comm::block_range(cfg.matrices, rank.size(), rank.id());
 
         // Per-rank pool = the OpenMP level of the hybrid model.
         let pool = ThreadPool::new(cfg.threads_per_rank);
@@ -108,70 +409,92 @@ pub fn run_multi(
         } else {
             Parallelism::OpenMp(&pool)
         };
-        // The shift q is drawn per matrix (paper: "select q randomly").
-        let mut qrng = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x9E37 ^ rank.id() as u64);
-        let mut local = Vec::new();
-        let mut failure: Option<FsiError> = None;
-        // Per-matrix progress counter: exporters can watch a long hybrid
-        // run advance matrix by matrix.
-        static MATRICES: fsi_runtime::metrics::LazyCounter =
-            fsi_runtime::metrics::LazyCounter::new("selinv.multi.matrices");
-        for flat in &my_fields {
+        let mut local: Vec<(usize, Vec<f64>)> = Vec::new();
+        let mut failure: Option<(usize, FsiError)> = None;
+        for (index, flat) in my_range.zip(&my_fields) {
             let field = HsField::from_flat(l, n, flat);
-            let pc = hubbard_pcyclic(builder, &field, Spin::Up);
-            MATRICES.inc();
+            let mut task = MatrixTask::new(index, field, cfg.c, cfg.pattern, cfg.seed);
             // A failed inversion must not skip the collectives below (all
             // ranks participate or none return), so park the error.
-            let out = match crate::fsi::fsi(par, &pc, cfg.pattern, cfg.c, &mut qrng) {
-                Ok(out) => out,
+            match task.run(par, builder, measure) {
+                Ok(()) => local.push(task.into_quantities()),
                 Err(e) => {
-                    failure = Some(e);
+                    failure = Some((index, e));
                     break;
                 }
-            };
-            let quantities = measure(&out.selected);
-            if local.is_empty() {
-                local = quantities;
-            } else {
-                assert_eq!(local.len(), quantities.len(), "measure length varies");
-                for (a, q) in local.iter_mut().zip(quantities) {
-                    *a += q;
+            }
+        }
+        // Gather per-matrix vectors at the root (the paper's MPI_Reduce;
+        // we reduce in matrix order on the root for bitwise stability).
+        let gathered = rank.gather(local, 2);
+        let failures = rank.gather(failure, 3);
+        gathered.zip(failures)
+    });
+    let root = results.into_iter().next().flatten();
+    let (gathered, failures) = root.expect("root holds the gathers");
+    if let Some((_, e)) = failures.into_iter().flatten().min_by_key(|(i, _)| *i) {
+        return Err(e);
+    }
+    Ok(gathered.into_iter().flatten().collect())
+}
+
+/// The work-stealing path: the same block distribution seeds per-worker
+/// deques, idle workers steal half of the fullest backlog.
+fn run_stealing(
+    builder: &BlockBuilder,
+    cfg: &MultiConfig,
+    measure: &MeasureFn,
+) -> FsiResult<Vec<(usize, Vec<f64>)>> {
+    let l = builder.params().l;
+    let n = builder.lattice().n_sites();
+    let fields = generate_fields(l, n, cfg.matrices, cfg.seed);
+    let queues = StealQueues::new(cfg.ranks);
+    for (m, field) in fields.into_iter().enumerate() {
+        let task = MatrixTask::new(m, field, cfg.c, cfg.pattern, cfg.seed);
+        queues.push(owner_of(m, cfg.matrices, cfg.ranks), task);
+    }
+    queues.close(); // batch run: drain and exit
+
+    let abort = AtomicBool::new(false);
+    let failure: Mutex<Option<(usize, FsiError)>> = Mutex::new(None);
+    let done: Mutex<Vec<(usize, Vec<f64>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for w in 0..cfg.ranks {
+            let queues = &queues;
+            let abort = &abort;
+            let failure = &failure;
+            let done = &done;
+            s.spawn(move || {
+                let pool = ThreadPool::new(cfg.threads_per_rank);
+                let par = if cfg.threads_per_rank == 1 {
+                    Parallelism::Serial
+                } else {
+                    Parallelism::OpenMp(&pool)
+                };
+                while let Some(mut task) = queues.acquire(w) {
+                    if abort.load(Ordering::Acquire) {
+                        continue; // drain without processing
+                    }
+                    match task.run(par, builder, measure) {
+                        Ok(()) => done.lock().unwrap().push(task.into_quantities()),
+                        Err(e) => {
+                            let mut slot = failure.lock().unwrap();
+                            // Keep the lowest-index failure for
+                            // deterministic error surfacing.
+                            if slot.as_ref().is_none_or(|(i, _)| task.index() < *i) {
+                                *slot = Some((task.index(), e));
+                            }
+                            abort.store(true, Ordering::Release);
+                        }
+                    }
                 }
-            }
-        }
-        if failure.is_some() {
-            local.clear();
-        }
-        // Ranks owning zero matrices contribute a zero vector of the
-        // right length; resolve the length via an allreduce of maxima.
-        let len = rank.allreduce(local.len(), 2, usize::max);
-        if local.is_empty() {
-            local = vec![0.0; len];
-        }
-        let reduced = rank.reduce(local, 3, |mut a, b| {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += y;
-            }
-            a
-        });
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(reduced),
+            });
         }
     });
-    let mut global = None;
-    for (i, r) in results.into_iter().enumerate() {
-        let v = r?; // surface the first failing rank
-        if i == 0 {
-            global = v;
-        }
+    if let Some((_, e)) = failure.into_inner().unwrap() {
+        return Err(e);
     }
-    let global = global.expect("root holds the reduction");
-    Ok(MultiResult {
-        global_measurements: global,
-        seconds: sw.seconds(),
-        matrices: cfg.matrices,
-    })
+    Ok(done.into_inner().unwrap())
 }
 
 /// Which rank owns matrix `m` under the block distribution.
@@ -186,15 +509,24 @@ fn owner_of(m: usize, total: usize, ranks: usize) -> usize {
 
 /// A simple default measurement: `[Σ tr G(k,k), #blocks]` over the
 /// selection — enough to validate reductions end to end.
+///
+/// The diagonal traces are summed in ascending block order: the selected
+/// inverse stores blocks in a hash map, and a measurement hook that sums
+/// in map-iteration order would produce run-dependent last bits.
 pub fn trace_measure(s: &SelectedInverse) -> Vec<f64> {
-    let mut trace = 0.0;
-    for (coord, blk) in s.iter() {
-        if coord.0 == coord.1 {
+    let mut diags: Vec<(usize, f64)> = s
+        .iter()
+        .filter(|(coord, _)| coord.0 == coord.1)
+        .map(|(coord, blk)| {
+            let mut t = 0.0;
             for i in 0..blk.rows() {
-                trace += blk[(i, i)];
+                t += blk[(i, i)];
             }
-        }
-    }
+            (coord.0, t)
+        })
+        .collect();
+    diags.sort_by_key(|(k, _)| *k);
+    let trace = diags.iter().map(|(_, t)| t).sum();
     vec![trace, s.len() as f64]
 }
 
@@ -268,18 +600,22 @@ mod tests {
         BlockBuilder::new(SquareLattice::square(2), HubbardParams::paper_validation(8))
     }
 
-    #[test]
-    fn multi_run_reduces_across_ranks() {
-        let builder = small_builder();
-        let cfg = MultiConfig {
+    fn base_cfg() -> MultiConfig {
+        MultiConfig {
             ranks: 3,
             threads_per_rank: 1,
             matrices: 7,
             c: 4,
             pattern: Pattern::Diagonal,
             seed: 42,
-        };
-        let result = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
+            scheduling: Scheduling::WorkStealing,
+        }
+    }
+
+    #[test]
+    fn multi_run_reduces_across_ranks() {
+        let builder = small_builder();
+        let result = run_multi(&builder, &base_cfg(), &trace_measure).expect("healthy");
         assert_eq!(result.matrices, 7);
         // Block-count channel: 7 matrices × b=2 diagonal blocks.
         assert_eq!(result.global_measurements[1], 14.0);
@@ -287,29 +623,43 @@ mod tests {
     }
 
     #[test]
-    fn rank_count_does_not_change_the_physics() {
-        // The same seed and matrix count must give identical reductions
-        // regardless of how many ranks share the work.
+    fn scheduling_disciplines_are_bitwise_identical() {
+        let builder = small_builder();
+        let mut cfg = base_cfg();
+        cfg.scheduling = Scheduling::Static;
+        let stat = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
+        cfg.scheduling = Scheduling::WorkStealing;
+        let steal = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
+        assert_eq!(
+            stat.global_measurements, steal.global_measurements,
+            "static vs stealing must agree to the bit"
+        );
+    }
+
+    #[test]
+    fn rank_count_does_not_change_the_bits() {
+        // The same seed and matrix count must give *bitwise* identical
+        // reductions regardless of how many ranks share the work — the
+        // ordered reduction guarantees it.
         let builder = small_builder();
         let base = MultiConfig {
             ranks: 1,
-            threads_per_rank: 1,
             matrices: 5,
-            c: 4,
-            pattern: Pattern::Diagonal,
             seed: 7,
+            ..base_cfg()
         };
         let r1 = run_multi(&builder, &base, &trace_measure).expect("healthy");
         for ranks in [2usize, 5] {
-            let cfg = MultiConfig {
-                ranks,
-                ..base.clone()
-            };
-            let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
-            for (a, b) in r1.global_measurements.iter().zip(&r.global_measurements) {
-                assert!(
-                    (a - b).abs() < 1e-6 * a.abs().max(1.0),
-                    "ranks={ranks}: {a} vs {b}"
+            for scheduling in [Scheduling::Static, Scheduling::WorkStealing] {
+                let cfg = MultiConfig {
+                    ranks,
+                    scheduling,
+                    ..base.clone()
+                };
+                let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
+                assert_eq!(
+                    r1.global_measurements, r.global_measurements,
+                    "ranks={ranks} {scheduling:?}"
                 );
             }
         }
@@ -325,6 +675,7 @@ mod tests {
             c: 4,
             pattern: Pattern::Columns,
             seed: 9,
+            scheduling: Scheduling::Static,
         };
         let cfg2 = MultiConfig {
             threads_per_rank: 2,
@@ -336,6 +687,63 @@ mod tests {
         for (a, b) in r1.global_measurements.iter().zip(&r2.global_measurements) {
             assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
         }
+    }
+
+    #[test]
+    fn task_steps_advance_in_order() {
+        let builder = small_builder();
+        let l = builder.params().l;
+        let n = builder.lattice().n_sites();
+        let field = generate_fields(l, n, 1, 3).remove(0);
+        let mut task = MatrixTask::new(0, field, 4, Pattern::Diagonal, 3);
+        assert_eq!(task.step_now(), JobStep::Build);
+        let seq: Vec<JobStep> = (0..3)
+            .map(|_| {
+                task.step(Parallelism::Serial, &builder, &trace_measure)
+                    .expect("healthy")
+            })
+            .collect();
+        assert_eq!(seq, [JobStep::Invert, JobStep::Measure, JobStep::Done]);
+        assert!(task.is_done());
+        assert_eq!(task.quantities().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn degrade_halves_c_down_to_the_floor() {
+        let builder = small_builder();
+        let l = builder.params().l;
+        let n = builder.lattice().n_sites();
+        let field = generate_fields(l, n, 1, 5).remove(0);
+        let mut task = MatrixTask::new(0, field, 4, Pattern::Diagonal, 5);
+        task.run(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy");
+        assert!(task.degrade());
+        assert_eq!(task.c(), 2);
+        assert_eq!(task.step_now(), JobStep::Build);
+        assert!(task.quantities().is_none());
+        // The degraded task still completes (c=2 divides L=8).
+        task.run(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy after degrade");
+        assert!(task.degrade());
+        assert_eq!(task.c(), 1);
+        assert!(!task.degrade(), "c=1 is the floor");
+        assert_eq!(task.degradations(), 2);
+    }
+
+    #[test]
+    fn shift_is_schedule_independent_and_in_range() {
+        for seed in [0u64, 42, u64::MAX] {
+            for index in [0usize, 1, 999] {
+                for c in [1usize, 4, 10] {
+                    let q = shift_for(seed, index, c);
+                    assert!(q < c);
+                    assert_eq!(q, shift_for(seed, index, c), "deterministic");
+                }
+            }
+        }
+        // Different matrices get different shift streams (not all equal).
+        let qs: Vec<usize> = (0..32).map(|m| shift_for(11, m, 10)).collect();
+        assert!(qs.iter().any(|&q| q != qs[0]));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Admission-control errors: every rejected submission names its reason.
+
+use std::fmt;
+
+/// Why a [`crate::JobSpec`] was refused at the service door.
+///
+/// Admission failures are *control-flow*, not numerical faults: the
+/// service has not touched the job's matrices yet. Callers can react
+/// per variant — retry later on [`AdmitError::QueueFull`], resubmit
+/// smaller on [`AdmitError::MemoryBudget`], fix the spec on
+/// [`AdmitError::InvalidSpec`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The bounded sweep queue cannot take the job without exceeding
+    /// its capacity. Use [`crate::ServiceHandle::submit_blocking`] to
+    /// wait for space instead.
+    QueueFull {
+        /// Total queue capacity, in sweeps.
+        capacity: usize,
+        /// Sweeps currently queued or in flight.
+        pending: usize,
+        /// Sweeps the rejected job would have added.
+        requested: usize,
+    },
+    /// The job's per-worker memory footprint exceeds the node budget of
+    /// the service's [`fsi_selinv::MemoryModel`] — the admission-time
+    /// version of the paper's Fig. 9 OOM analysis.
+    MemoryBudget {
+        /// Bytes one worker would need for this job's inversions.
+        per_worker_bytes: u64,
+        /// Usable node bytes divided over the worker count.
+        budget_bytes: u64,
+    },
+    /// The spec is structurally invalid (zero dimensions, `c ∤ L`, …).
+    InvalidSpec(
+        /// Human-readable description of the violated constraint.
+        String,
+    ),
+    /// The service is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::QueueFull {
+                capacity,
+                pending,
+                requested,
+            } => write!(
+                f,
+                "queue full: {pending} sweeps pending + {requested} requested > capacity {capacity}"
+            ),
+            AdmitError::MemoryBudget {
+                per_worker_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget: job needs {per_worker_bytes} B per worker, budget is {budget_bytes} B"
+            ),
+            AdmitError::InvalidSpec(why) => write!(f, "invalid job spec: {why}"),
+            AdmitError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}

@@ -1,0 +1,465 @@
+//! The service core: bounded admission, work-stealing execution, tenant
+//! metering, and the per-job degradation ladder.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{unbounded, Sender};
+use fsi_pcyclic::{BlockBuilder, HsField, HubbardParams, SquareLattice};
+use fsi_runtime::metrics::{
+    counter, flight, histogram, Counter, HistogramMetric, LazyCounter, LazyGauge, LazyHistogram,
+};
+use fsi_runtime::{StealQueues, ThreadPool};
+use fsi_selinv::{
+    generate_fields, trace_measure, MatrixTask, MemoryModel, Parallelism, SelectedInverse,
+};
+
+use crate::admission::AdmitError;
+use crate::job::{JobEvent, JobHandle, JobSpec, JobSummary};
+
+static SUBMITTED: LazyCounter = LazyCounter::new("service.jobs.submitted");
+static REJECTED: LazyCounter = LazyCounter::new("service.jobs.rejected");
+static COMPLETED: LazyCounter = LazyCounter::new("service.jobs.completed");
+static FAILED: LazyCounter = LazyCounter::new("service.jobs.failed");
+static DEGRADED: LazyCounter = LazyCounter::new("service.jobs.degraded");
+static SWEEPS_DONE: LazyCounter = LazyCounter::new("service.sweeps.completed");
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new("service.queue.depth");
+static LATENCY: LazyHistogram = LazyHistogram::new("service.job.latency_ns");
+static QUEUE_WAIT: LazyHistogram = LazyHistogram::new("service.job.queue_wait_ns");
+static JOB_FLOPS: LazyHistogram = LazyHistogram::new("service.job.flops");
+
+/// Sizing and policy of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads (the "rank" level of the hybrid model); each owns
+    /// one steal deque.
+    pub workers: usize,
+    /// Threads inside each worker's [`ThreadPool`] (the "OpenMP" level).
+    pub threads_per_worker: usize,
+    /// Queue capacity in *sweeps*: the bound admission control enforces
+    /// over queued-plus-running work.
+    pub queue_capacity: usize,
+    /// Node memory model consulted at admission (Fig. 9 analysis).
+    pub memory: MemoryModel,
+    /// How many recovery-ladder rungs a single job may descend before
+    /// it is failed.
+    pub max_degradations: u32,
+}
+
+impl ServiceConfig {
+    /// A sane single-host configuration with `workers` workers, one
+    /// thread each, a 4096-sweep queue, the Edison memory model, and a
+    /// ladder depth of 8.
+    pub fn small(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            threads_per_worker: 1,
+            queue_capacity: 4096,
+            memory: MemoryModel::edison(),
+            max_degradations: 8,
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig::small(fsi_runtime::default_threads().clamp(1, 8))
+    }
+}
+
+/// Per-tenant metric handles, resolved once per tenant tag and cached.
+#[derive(Clone, Copy)]
+struct TenantMeters {
+    jobs: &'static Counter,
+    bins: &'static Counter,
+    flops: &'static Counter,
+    latency: &'static HistogramMetric,
+    queue_wait: &'static HistogramMetric,
+}
+
+impl TenantMeters {
+    fn resolve(tenant: &str) -> Self {
+        let name = |leaf: &str| format!("service.tenant.{tenant}.{leaf}");
+        TenantMeters {
+            jobs: counter(&name("jobs")),
+            bins: counter(&name("bins")),
+            flops: counter(&name("flops")),
+            latency: histogram(&name("latency_ns")),
+            queue_wait: histogram(&name("queue_wait_ns")),
+        }
+    }
+}
+
+/// The shared state of one running job.
+struct JobState {
+    id: u64,
+    spec: JobSpec,
+    builder: BlockBuilder,
+    /// The cluster size the job currently runs with; only ever shrinks
+    /// (per-job rung of the recovery ladder).
+    c_now: AtomicUsize,
+    degradations: AtomicU32,
+    /// Sweeps not yet finished (completed, failed, or drained).
+    remaining: AtomicUsize,
+    completed_bins: AtomicUsize,
+    failed: AtomicBool,
+    submitted: Instant,
+    first_start: Mutex<Option<Instant>>,
+    tx: Sender<JobEvent>,
+}
+
+/// The boxed per-sweep measurement hook shared by all workers.
+type BoxedMeasure = Box<dyn Fn(&SelectedInverse) -> Vec<f64> + Send + Sync>;
+
+/// One schedulable unit: a single sweep of a job, carrying its field.
+struct SweepTask {
+    job: Arc<JobState>,
+    sweep: usize,
+    field: HsField,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queues: StealQueues<SweepTask>,
+    /// Sweeps queued or in flight, guarded for the backpressure condvar.
+    pending: Mutex<usize>,
+    space: Condvar,
+    next_job: AtomicU64,
+    accepting: AtomicBool,
+    measure: BoxedMeasure,
+    tenants: Mutex<HashMap<String, TenantMeters>>,
+}
+
+/// A running simulation service: worker threads plus the shared queue.
+///
+/// Create with [`Service::start`], clone submit handles with
+/// [`Service::handle`], and stop with [`Service::shutdown`] — which
+/// drains already-admitted work before joining the workers.
+pub struct Service {
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// A cloneable submission handle to a [`Service`].
+#[derive(Clone)]
+pub struct ServiceHandle {
+    inner: Arc<Inner>,
+}
+
+impl Service {
+    /// Starts the service with [`fsi_selinv::trace_measure`] as the
+    /// per-sweep measurement hook.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        Service::start_with(cfg, trace_measure)
+    }
+
+    /// Starts the service with a custom measurement hook applied to
+    /// every completed selected inversion.
+    pub fn start_with(
+        cfg: ServiceConfig,
+        measure: impl Fn(&SelectedInverse) -> Vec<f64> + Send + Sync + 'static,
+    ) -> Self {
+        assert!(cfg.workers > 0 && cfg.threads_per_worker > 0);
+        assert!(cfg.queue_capacity > 0, "queue capacity must be positive");
+        let inner = Arc::new(Inner {
+            queues: StealQueues::new(cfg.workers),
+            cfg,
+            pending: Mutex::new(0),
+            space: Condvar::new(),
+            next_job: AtomicU64::new(0),
+            accepting: AtomicBool::new(true),
+            measure: Box::new(measure),
+            tenants: Mutex::new(HashMap::new()),
+        });
+        let threads = (0..inner.cfg.workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("fsi-service-{w}"))
+                    .spawn(move || worker_loop(&inner, w))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { inner, threads }
+    }
+
+    /// A cloneable handle for submitting jobs.
+    pub fn handle(&self) -> ServiceHandle {
+        ServiceHandle {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Stops accepting new jobs, drains everything already admitted,
+    /// and joins the workers.
+    pub fn shutdown(self) {
+        self.inner.accepting.store(false, Ordering::Release);
+        self.inner.queues.close();
+        // Wake any submit_blocking waiters so they observe the refusal.
+        self.inner.space.notify_all();
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl ServiceHandle {
+    /// Submits a job, rejecting immediately when admission fails.
+    ///
+    /// On success the job's sweeps are spread over the worker deques
+    /// (whence idle workers steal) and a [`JobHandle`] streams events
+    /// back; [`JobHandle::wait`] assembles the final report.
+    ///
+    /// ```
+    /// use fsi_service::{AdmitError, JobSpec, Service, ServiceConfig};
+    ///
+    /// let service = Service::start(ServiceConfig::small(2));
+    /// let handle = service.handle();
+    ///
+    /// let job = handle.submit(JobSpec::new("qmc", 2, 8, 4, 3, 11)).unwrap();
+    /// let outcome = job.wait();
+    /// assert_eq!(outcome.bins.len(), 3);
+    ///
+    /// // Rejections carry their reason:
+    /// let huge = JobSpec::new("qmc", 2, 8, 4, 1_000_000, 0);
+    /// assert!(matches!(
+    ///     handle.submit(huge),
+    ///     Err(AdmitError::QueueFull { .. })
+    /// ));
+    /// service.shutdown();
+    /// ```
+    ///
+    /// # Errors
+    /// [`AdmitError`] names the reason: malformed spec, memory budget,
+    /// full queue, or shutdown.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, AdmitError> {
+        self.admit(spec, false)
+    }
+
+    /// Like [`ServiceHandle::submit`], but blocks while the queue is
+    /// full instead of rejecting (backpressure). Structural and
+    /// memory-budget rejections still return immediately.
+    ///
+    /// # Errors
+    /// [`AdmitError`] for non-queue reasons, or
+    /// [`AdmitError::ShuttingDown`] if the service stops while waiting.
+    pub fn submit_blocking(&self, spec: JobSpec) -> Result<JobHandle, AdmitError> {
+        self.admit(spec, true)
+    }
+
+    /// Sweeps currently queued or in flight (racy snapshot).
+    pub fn pending_sweeps(&self) -> usize {
+        *self.inner.pending.lock().unwrap()
+    }
+
+    fn admit(&self, spec: JobSpec, block: bool) -> Result<JobHandle, AdmitError> {
+        let inner = &*self.inner;
+        if !inner.accepting.load(Ordering::Acquire) {
+            return Err(AdmitError::ShuttingDown);
+        }
+        if let Err(why) = spec.validate() {
+            REJECTED.inc();
+            return Err(AdmitError::InvalidSpec(why));
+        }
+        // Fig. 9 admission: would `workers` concurrent inversions of
+        // this shape fit the node? A job too big for the pool never
+        // clears on its own, so this rejects even in blocking mode.
+        let per_worker = spec.per_worker_bytes();
+        let usable = inner.cfg.memory.node_bytes - inner.cfg.memory.reserved_bytes;
+        if !inner.cfg.memory.feasible(inner.cfg.workers, per_worker) {
+            REJECTED.inc();
+            return Err(AdmitError::MemoryBudget {
+                per_worker_bytes: per_worker,
+                budget_bytes: usable / inner.cfg.workers as u64,
+            });
+        }
+        // Bounded-queue admission over the pending-sweep count.
+        {
+            let mut pending = inner.pending.lock().unwrap();
+            loop {
+                if !inner.accepting.load(Ordering::Acquire) {
+                    return Err(AdmitError::ShuttingDown);
+                }
+                if *pending + spec.sweeps <= inner.cfg.queue_capacity {
+                    *pending += spec.sweeps;
+                    QUEUE_DEPTH.set(*pending as f64);
+                    break;
+                }
+                if !block {
+                    REJECTED.inc();
+                    return Err(AdmitError::QueueFull {
+                        capacity: inner.cfg.queue_capacity,
+                        pending: *pending,
+                        requested: spec.sweeps,
+                    });
+                }
+                pending = inner.space.wait(pending).unwrap();
+            }
+        }
+        Ok(self.enqueue(spec))
+    }
+
+    /// Builds the job state and spreads its sweeps over the deques.
+    fn enqueue(&self, spec: JobSpec) -> JobHandle {
+        let inner = &*self.inner;
+        let id = inner.next_job.fetch_add(1, Ordering::AcqRel);
+        let (tx, rx) = unbounded();
+        let builder = BlockBuilder::new(
+            SquareLattice::square(spec.side),
+            HubbardParams::paper_validation(spec.l),
+        );
+        let fields = generate_fields(spec.l, spec.n_sites(), spec.sweeps, spec.seed);
+        let job = Arc::new(JobState {
+            id,
+            c_now: AtomicUsize::new(spec.c),
+            degradations: AtomicU32::new(0),
+            remaining: AtomicUsize::new(spec.sweeps),
+            completed_bins: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            submitted: Instant::now(),
+            first_start: Mutex::new(None),
+            tx,
+            builder,
+            spec,
+        });
+        SUBMITTED.inc();
+        tenant_meters(inner, &job.spec.tenant).jobs.inc();
+        // Round-robin starting at the job id: tenants land on different
+        // home deques, and the stealer evens out the rest.
+        let workers = inner.cfg.workers;
+        for (sweep, field) in fields.into_iter().enumerate() {
+            let task = SweepTask {
+                job: Arc::clone(&job),
+                sweep,
+                field,
+            };
+            inner.queues.push((id as usize + sweep) % workers, task);
+        }
+        JobHandle { id, rx }
+    }
+}
+
+/// Resolves (and caches) the metric handles for a tenant tag.
+fn tenant_meters(inner: &Inner, tenant: &str) -> TenantMeters {
+    let mut map = inner.tenants.lock().unwrap();
+    *map.entry(tenant.to_string())
+        .or_insert_with(|| TenantMeters::resolve(tenant))
+}
+
+/// The body of one worker thread: acquire (own deque, then steal), run
+/// the sweep through the resumable task pipeline, account, repeat.
+fn worker_loop(inner: &Inner, w: usize) {
+    let pool = ThreadPool::new(inner.cfg.threads_per_worker);
+    let par = if inner.cfg.threads_per_worker == 1 {
+        Parallelism::Serial
+    } else {
+        Parallelism::OpenMp(&pool)
+    };
+    while let Some(task) = inner.queues.acquire(w) {
+        run_sweep(inner, par, task);
+    }
+}
+
+/// Runs one sweep to completion (with per-job degradation retries) and
+/// handles all completion accounting.
+fn run_sweep(inner: &Inner, par: Parallelism<'_>, task: SweepTask) {
+    let SweepTask { job, sweep, field } = task;
+    // Queue wait is measured at the first sweep of the job to start.
+    {
+        let mut first = job.first_start.lock().unwrap();
+        if first.is_none() {
+            *first = Some(Instant::now());
+        }
+    }
+    if !job.failed.load(Ordering::Acquire) {
+        let measure: &fsi_selinv::multi::MeasureFn = &*inner.measure;
+        let mut mt = MatrixTask::new(sweep, field, job.spec.c, job.spec.pattern, job.spec.seed);
+        // Join the job's current ladder rung: degradation is per *job*,
+        // so later sweeps start at the already-shrunk cluster size.
+        while mt.c() > job.c_now.load(Ordering::Acquire) {
+            mt.degrade();
+        }
+        loop {
+            match mt.run(par, &job.builder, measure) {
+                Ok(()) => {
+                    let (_, quantities) = mt.into_quantities();
+                    job.completed_bins.fetch_add(1, Ordering::AcqRel);
+                    SWEEPS_DONE.inc();
+                    let meters = tenant_meters(inner, &job.spec.tenant);
+                    meters.bins.inc();
+                    meters.flops.add(job.spec.flop_estimate());
+                    let _ = job.tx.send(JobEvent::Bin { sweep, quantities });
+                    break;
+                }
+                Err(error) => {
+                    let rungs = job.degradations.load(Ordering::Acquire);
+                    if rungs < inner.cfg.max_degradations && mt.degrade() {
+                        // Scope the §II-C "shrink c" rung to this job.
+                        let rung = job.degradations.fetch_add(1, Ordering::AcqRel) + 1;
+                        job.c_now.fetch_min(mt.c(), Ordering::AcqRel);
+                        DEGRADED.inc();
+                        flight::note_recovery("service.shrink_c", "service");
+                        let _ = job.tx.send(JobEvent::Degraded {
+                            sweep,
+                            c: mt.c(),
+                            rung,
+                        });
+                        continue;
+                    }
+                    job.failed.store(true, Ordering::Release);
+                    flight::note("service.job.failed");
+                    let _ = job.tx.send(JobEvent::Failed { sweep, error });
+                    break;
+                }
+            }
+        }
+    }
+    // Completion accounting runs for processed *and* drained sweeps.
+    {
+        let mut pending = inner.pending.lock().unwrap();
+        *pending -= 1;
+        QUEUE_DEPTH.set(*pending as f64);
+        inner.space.notify_all();
+    }
+    if job.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        finish_job(inner, &job);
+    }
+}
+
+/// Emits the terminal summary and job-level metrics.
+fn finish_job(inner: &Inner, job: &JobState) {
+    let failed = job.failed.load(Ordering::Acquire);
+    let latency_ns = job.submitted.elapsed().as_nanos() as u64;
+    let queue_wait_ns = job
+        .first_start
+        .lock()
+        .unwrap()
+        .map(|t| (t - job.submitted).as_nanos() as u64)
+        .unwrap_or(latency_ns);
+    if failed {
+        FAILED.inc();
+    } else {
+        COMPLETED.inc();
+    }
+    LATENCY.record(latency_ns);
+    QUEUE_WAIT.record(queue_wait_ns);
+    let completed_bins = job.completed_bins.load(Ordering::Acquire);
+    JOB_FLOPS.record(job.spec.flop_estimate() * completed_bins as u64);
+    let meters = tenant_meters(inner, &job.spec.tenant);
+    meters.latency.record(latency_ns);
+    meters.queue_wait.record(queue_wait_ns);
+    let _ = job.tx.send(JobEvent::Finished(JobSummary {
+        job_id: job.id,
+        tenant: job.spec.tenant.clone(),
+        sweeps: job.spec.sweeps,
+        completed_bins,
+        degradations: job.degradations.load(Ordering::Acquire),
+        c_final: job.c_now.load(Ordering::Acquire),
+        failed,
+        queue_wait_ns,
+        latency_ns,
+    }));
+}

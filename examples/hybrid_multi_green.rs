@@ -28,6 +28,7 @@ fn main() {
             c: 4,
             pattern: Pattern::Columns,
             seed: 99,
+            scheduling: fsi::selinv::Scheduling::WorkStealing,
         };
         let r = run_multi(&builder, &cfg, &trace_measure).expect("healthy");
         println!(

@@ -4,7 +4,7 @@
 //! *"A Fast Selected Inversion Algorithm for Green's Function Calculation
 //! in Many-body Quantum Monte Carlo Simulations"*, IEEE IPDPS 2016.
 //!
-//! Re-exports the five member crates:
+//! Re-exports the six member crates:
 //!
 //! * [`runtime`] — thread pool (OpenMP analog), in-process ranks with
 //!   collectives (MPI analog), flop accounting, timers, scheduling
@@ -17,7 +17,10 @@
 //!   BSOFI + wrapping), selection patterns, baselines, the hybrid
 //!   multi-matrix driver and the Fig. 9 memory model;
 //! * [`dqmc`] — a determinant quantum Monte Carlo engine for the Hubbard
-//!   model running its Green's-function phase on FSI.
+//!   model running its Green's-function phase on FSI;
+//! * [`service`] — Green's-function-as-a-service: a work-stealing
+//!   multi-tenant job queue over the rank pool, with admission control,
+//!   per-tenant metering, and per-job degradation.
 //!
 //! ## Quickstart
 //!
@@ -42,3 +45,4 @@ pub use fsi_dqmc as dqmc;
 pub use fsi_pcyclic as pcyclic;
 pub use fsi_runtime as runtime;
 pub use fsi_selinv as selinv;
+pub use fsi_service as service;
