@@ -86,6 +86,18 @@ SERVICE_OUT="results/BENCH_service.json"
 ./target/release/bench_service --smoke ${LABEL_ARG:+"$LABEL_ARG"} \
   "--out=$SERVICE_OUT"
 
+# The recovery drill kills the durable sweep engine and the service at
+# every durability boundary (post-journal-append, mid-checkpoint torn
+# write, between checkpoints, stalled worker) and asserts 100%
+# detect-and-resume with bitwise-identical fields, signs, Green's
+# functions, and bins. Pure structural properties, so it GATES.
+echo "== bench_recovery --smoke =="
+cargo build --offline --release -p fsi-bench --bin bench_recovery \
+  --features fault-inject
+RECOVERY_OUT="results/BENCH_recovery.json"
+./target/release/bench_recovery --smoke ${LABEL_ARG:+"$LABEL_ARG"} \
+  "--out=$RECOVERY_OUT"
+
 # bench_bsofi asserts a >=1.5x selected-vs-dense wall-time win, which is a
 # *timing* property — informative, but a slow/noisy machine must not fail
 # the smoke gate, so it is tolerated here (its flop-attribution and bitwise
@@ -100,7 +112,8 @@ echo "== bench_bsofi (non-gating) =="
 # this lane (e.g. validate.json).
 echo "== bench_report (perf-regression sentinel) =="
 cargo build --offline --release -p fsi-bench --bin bench_report
-REPORT_ARGS=(--smoke --seed "--fresh=sweep:$SWEEP_OUT" "--fresh=service:$SERVICE_OUT")
+REPORT_ARGS=(--smoke --seed "--fresh=sweep:$SWEEP_OUT" "--fresh=service:$SERVICE_OUT"
+  "--fresh=recovery:$RECOVERY_OUT")
 [ -n "$KERNELS_OUT" ] && REPORT_ARGS+=("--fresh=kernels:$KERNELS_OUT")
 [ -n "$LABEL_ARG" ] && REPORT_ARGS+=("$LABEL_ARG")
 [ "$GATE" -eq 1 ] || REPORT_ARGS+=(--warn-only)

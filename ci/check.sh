@@ -57,6 +57,14 @@ if [[ $quick -eq 0 ]]; then
   echo "== cargo test (kernel lane: FSI_KERNEL=scalar) =="
   FSI_KERNEL=scalar cargo test --offline -q -p fsi-dense
 
+  # Kill-point lane: the durability property tests under simulated
+  # crashes — journal-append kill, drain/recover, torn-envelope
+  # rejection — must hold in isolation (the killpoint plan is global
+  # state, serialized by its test lock; single-test-binary scope keeps
+  # the lane's failure output attributable).
+  echo "== cargo test (kill-point lane: prop_recovery + fault-inject) =="
+  cargo test --offline -q --test prop_recovery --features fault-inject
+
   # The checked profile keeps release optimization but turns debug
   # assertions and overflow checks back on — numeric guardrail bugs that
   # only trip under assertions surface here.

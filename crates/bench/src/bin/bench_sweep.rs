@@ -370,6 +370,6 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(&out, json.to_string()).expect("write bench json");
+    fsi_bench::write_artifact(&out, &json.to_string()).expect("write bench json");
     println!("wrote {out}");
 }

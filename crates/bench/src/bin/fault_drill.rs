@@ -399,7 +399,7 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(&out, json.to_string()).expect("write drill json");
+    fsi_bench::write_artifact(&out, &json.to_string()).expect("write drill json");
     println!("wrote {out}");
 
     assert_eq!(failures, 0, "{failures} drill site(s) failed");

@@ -215,7 +215,7 @@ fn main() {
             std::fs::create_dir_all(dir).expect("create output directory");
         }
     }
-    std::fs::write(out_path, json.to_string()).expect("write validate json");
+    fsi_bench::write_artifact(out_path, &json.to_string()).expect("write validate json");
     println!("wrote {out_path}");
     if !pass {
         std::process::exit(1);

@@ -299,6 +299,9 @@ pub struct TraceExport {
 /// export even without the environment variable.
 pub fn init_trace(command: &str, args: &Args) -> TraceExport {
     use fsi_runtime::trace;
+    // A harness that panics mid-run dumps the flight-recorder ring
+    // (NDJSON under FSI_FLIGHT_DIR) so the crash is diagnosable.
+    fsi_runtime::metrics::flight::install_panic_hook();
     if trace::level() == fsi_runtime::TraceLevel::Off {
         trace::set_level(fsi_runtime::TraceLevel::Stages);
     }
@@ -344,6 +347,17 @@ trace: wrote {} and {}",
         }
         report
     }
+}
+
+/// Writes a bench artifact (e.g. `results/BENCH_*.json`) atomically:
+/// the bytes land in a same-directory temp file that is renamed over
+/// `path`, so a crash mid-write can never leave a torn artifact for the
+/// sentinel (or a human) to misread. Creates parent directories.
+///
+/// # Errors
+/// Filesystem errors from the temp write or the rename.
+pub fn write_artifact(path: impl AsRef<std::path::Path>, contents: &str) -> std::io::Result<()> {
+    fsi_runtime::ckpt::write_atomic(path.as_ref(), contents.as_bytes())
 }
 
 /// Formats a Gflop/s value from flops and seconds.

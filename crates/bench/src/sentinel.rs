@@ -67,13 +67,14 @@ fn sample(name: impl Into<String>, value: f64, policy: Policy) -> MetricSample {
 }
 
 /// The benchmark families the sentinel knows how to read.
-pub const FAMILIES: [&str; 6] = [
+pub const FAMILIES: [&str; 7] = [
     "kernels",
     "sweep",
     "bsofi",
     "fault_drill",
     "validate",
     "service",
+    "recovery",
 ];
 
 /// The artifact filename of a family (under `results/` or a baseline
@@ -86,6 +87,7 @@ pub fn family_file(family: &str) -> &'static str {
         "fault_drill" => "BENCH_fault_drill.json",
         "validate" => "validate.json",
         "service" => "BENCH_service.json",
+        "recovery" => "BENCH_recovery.json",
         other => panic!("unknown benchmark family {other:?}"),
     }
 }
@@ -289,6 +291,19 @@ pub fn extract(family: &str, doc: &Json) -> Result<Vec<MetricSample>, String> {
                 };
                 out.push(sample(format!("summary.{key}"), v, policy));
             }
+        }
+        "recovery" => {
+            // The crash drill is fully deterministic: every kill site
+            // must detect its crash and resume bitwise, every run. Any
+            // drop in the detect rate is a durability logic change.
+            let sites = num(run, "sites").ok_or("recovery: sites")?;
+            let passed = num(run, "passed").ok_or("recovery: passed")?;
+            out.push(sample(
+                "detect_rate",
+                if sites > 0.0 { passed / sites } else { 0.0 },
+                Policy::Exact,
+            ));
+            out.push(sample("sites", sites, Policy::Exact));
         }
         other => return Err(format!("unknown family {other:?}")),
     }
@@ -606,6 +621,24 @@ mod tests {
         // Scheduling-luck counters stay informational.
         assert!(by("steals").is_none());
         assert!(by("rejected").is_none());
+    }
+
+    #[test]
+    fn recovery_drill_is_judged_exactly() {
+        let doc = parse(r#"{"sites":6,"passed":6,"site_results":[]}"#);
+        let m = extract("recovery", &doc).unwrap();
+        let rate = m.iter().find(|s| s.name == "detect_rate").unwrap();
+        assert_eq!(rate.value, 1.0);
+        assert_eq!(rate.policy, Policy::Exact);
+        let sites = m.iter().find(|s| s.name == "sites").unwrap();
+        assert_eq!(sites.value, 6.0);
+        assert_eq!(sites.policy, Policy::Exact);
+        // One failed site must trip the gate against a clean baseline.
+        let bad = parse(r#"{"sites":6,"passed":5}"#);
+        let cmp = compare(&m, &extract("recovery", &bad).unwrap());
+        assert!(cmp
+            .iter()
+            .any(|c| c.name == "detect_rate" && c.verdict == Verdict::Regressed));
     }
 
     #[test]

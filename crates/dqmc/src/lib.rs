@@ -16,18 +16,22 @@
 //!   SPXX table computed from FSI's block rows + columns with per-task
 //!   local accumulators;
 //! * [`sim`] — the full warmup + measurement loop (Alg. 4) with the
-//!   per-phase timing decomposition of Figs. 10–11.
+//!   per-phase timing decomposition of Figs. 10–11;
+//! * [`checkpoint`] — durable checkpoint/restart: versioned, checksummed
+//!   sweep-boundary snapshots with a bitwise-identical-resume guarantee.
 
 #![warn(missing_docs)]
 // index loops mirror the site/slice indexing of the algorithms.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod delayed;
 pub mod meas;
 pub mod sim;
 pub mod stable;
 pub mod sweep;
 
+pub use checkpoint::{DurableSweeper, SweepCheckpoint, SWEEP_CKPT_VERSION};
 pub use delayed::DelayedUpdates;
 pub use meas::{
     equal_time, spin_zz_by_displacement, spxx, staggered_structure_factor, structure_factor_q,

@@ -71,7 +71,7 @@ pub enum WrapStrategy {
 }
 
 /// Tuning knobs of the sweep engine.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SweepConfig {
     /// Cluster size for the stabilized recomputation (`c ≈ √L`).
     pub c: usize,
@@ -237,6 +237,16 @@ impl<'a> Sweeper<'a> {
     /// The tracked Monte Carlo sign.
     pub fn sign(&self) -> f64 {
         self.sign
+    }
+
+    /// Restores the tracked sign from a checkpoint. The sign is a
+    /// multiplicative accumulation over every accepted flip of the whole
+    /// trajectory — it cannot be recomputed from the current field alone,
+    /// so [`crate::checkpoint::SweepCheckpoint`] carries it and resume
+    /// paths reinstate it here. Not for general use: overwriting the
+    /// sign mid-trajectory silently corrupts `⟨sign⟩` observables.
+    pub fn restore_sign(&mut self, sign: f64) {
+        self.sign = sign;
     }
 
     /// The `Ĝ_σ` of the current frame (tests / measurements at slice

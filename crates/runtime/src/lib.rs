@@ -46,6 +46,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod comm;
 pub mod flops;
 pub mod health;

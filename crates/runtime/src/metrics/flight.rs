@@ -260,6 +260,26 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
+/// Installs a process-wide panic hook that dumps the flight ring (an
+/// [`incident`] with reason `"panic"`) before delegating to the previous
+/// hook, so post-mortem forensics exist even for crashes the health
+/// layer never classified. Idempotent: only the first call installs;
+/// later calls (other service starts, other harness mains in the same
+/// process) are no-ops. Expected panics — `#[should_panic]` tests,
+/// probes that intentionally unwind — still dump, which is harmless: the
+/// file cap and the in-memory slot absorb them.
+pub fn install_panic_hook() {
+    use std::sync::Once;
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            incident("panic");
+            previous(info);
+        }));
+    });
+}
+
 /// Dumps the ring now: refreshes [`last_dump`], bumps the
 /// `runtime.flight.dumps` counter, and (dir configured, file cap not
 /// yet hit) writes `flight-<n>-<reason>.ndjson`. Write errors are

@@ -47,6 +47,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use fsi_pcyclic::{hubbard_pcyclic, BlockBuilder, BlockPCyclic, HsField, Spin};
+use fsi_runtime::ckpt::{CkptError, Reader as CkptReader, Writer as CkptWriter};
 use fsi_runtime::health::{FsiError, FsiResult};
 use fsi_runtime::{comm, StealQueues, Stopwatch, ThreadPool};
 use rand::{Rng, SeedableRng};
@@ -282,6 +283,139 @@ impl MatrixTask {
         self.out = None;
         self.quantities = None;
         true
+    }
+}
+
+impl JobStep {
+    /// Stable one-byte encoding for checkpoints.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            JobStep::Build => 0,
+            JobStep::Invert => 1,
+            JobStep::Measure => 2,
+            JobStep::Done => 3,
+        }
+    }
+
+    /// Decodes [`JobStep::as_u8`].
+    ///
+    /// # Errors
+    /// [`CkptError::Malformed`] on an unknown discriminant.
+    pub fn from_u8(v: u8) -> Result<Self, CkptError> {
+        Ok(match v {
+            0 => JobStep::Build,
+            1 => JobStep::Invert,
+            2 => JobStep::Measure,
+            3 => JobStep::Done,
+            _ => return Err(CkptError::Malformed("unknown JobStep discriminant")),
+        })
+    }
+}
+
+/// The checkpointable state of a [`MatrixTask`].
+///
+/// The built matrix and the inversion output are *not* carried: they are
+/// pure deterministic functions of `(field, c, pattern, seed, index)`,
+/// so a task parked at [`JobStep::Invert`] or [`JobStep::Measure`]
+/// snapshots as [`JobStep::Build`] and recomputes the intermediates on
+/// resume — bitwise identically, by the same argument that makes the
+/// static and stealing schedules agree. Only a [`JobStep::Done`] task
+/// carries its measurement vector, so a resumed scheduler never re-runs
+/// finished work.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskSnapshot {
+    /// The matrix index ([`MatrixTask::index`]).
+    pub index: usize,
+    /// The cluster size in force (after any degradations).
+    pub c: usize,
+    /// Recovery-ladder rungs the task has descended.
+    pub degradations: u32,
+    /// The (coarsened) pipeline position: `Build` or `Done`.
+    pub step: JobStep,
+    /// The measurement vector, present exactly when `step == Done`.
+    pub quantities: Option<Vec<f64>>,
+}
+
+impl TaskSnapshot {
+    /// Serializes into `w` (the task's share of a larger checkpoint).
+    pub fn encode(&self, w: &mut CkptWriter) {
+        w.put_u64(self.index as u64);
+        w.put_u64(self.c as u64);
+        w.put_u32(self.degradations);
+        w.put_u32(self.step.as_u8() as u32);
+        match &self.quantities {
+            Some(q) => {
+                w.put_u32(1);
+                w.put_f64s(q);
+            }
+            None => w.put_u32(0),
+        }
+    }
+
+    /// Deserializes what [`TaskSnapshot::encode`] wrote.
+    ///
+    /// # Errors
+    /// [`CkptError::Malformed`] on truncation or structural nonsense
+    /// (a `Done` step without quantities, and vice versa).
+    pub fn decode(r: &mut CkptReader<'_>) -> Result<Self, CkptError> {
+        let index = r.take_u64()? as usize;
+        let c = r.take_u64()? as usize;
+        if c == 0 {
+            return Err(CkptError::Malformed("cluster size zero"));
+        }
+        let degradations = r.take_u32()?;
+        let step = JobStep::from_u8(r.take_u32()? as u8)?;
+        let quantities = match r.take_u32()? {
+            0 => None,
+            1 => Some(r.take_f64s()?),
+            _ => return Err(CkptError::Malformed("bad quantities tag")),
+        };
+        if (step == JobStep::Done) != quantities.is_some() {
+            return Err(CkptError::Malformed("step/quantities mismatch"));
+        }
+        Ok(TaskSnapshot {
+            index,
+            c,
+            degradations,
+            step,
+            quantities,
+        })
+    }
+}
+
+impl MatrixTask {
+    /// Captures the checkpointable state (see [`TaskSnapshot`] for what
+    /// is coarsened and why).
+    pub fn snapshot(&self) -> TaskSnapshot {
+        TaskSnapshot {
+            index: self.index,
+            c: self.c,
+            degradations: self.degradations,
+            step: if self.step == JobStep::Done {
+                JobStep::Done
+            } else {
+                JobStep::Build
+            },
+            quantities: self.quantities.clone(),
+        }
+    }
+
+    /// Rebuilds a task from a snapshot plus the externally-regenerated
+    /// field (fields come from the run's root RNG stream, so the
+    /// checkpoint owner regenerates them rather than storing each copy).
+    pub fn restore(snap: TaskSnapshot, field: HsField, pattern: Pattern, seed: u64) -> Self {
+        MatrixTask {
+            index: snap.index,
+            field,
+            c: snap.c,
+            pattern,
+            seed,
+            step: snap.step,
+            pc: None,
+            out: None,
+            quantities: snap.quantities,
+            degradations: snap.degradations,
+        }
     }
 }
 
@@ -728,6 +862,48 @@ mod tests {
         assert_eq!(task.c(), 1);
         assert!(!task.degrade(), "c=1 is the floor");
         assert_eq!(task.degradations(), 2);
+    }
+
+    #[test]
+    fn snapshot_restores_done_and_mid_pipeline_tasks_bitwise() {
+        let builder = small_builder();
+        let l = builder.params().l;
+        let n = builder.lattice().n_sites();
+        let fields = generate_fields(l, n, 2, 21);
+
+        // Done task: quantities survive the snapshot verbatim.
+        let mut done = MatrixTask::new(0, fields[0].clone(), 4, Pattern::Diagonal, 21);
+        done.run(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy");
+        let snap = done.snapshot();
+        assert_eq!(snap.step, JobStep::Done);
+        let mut w = CkptWriter::new();
+        snap.encode(&mut w);
+        let bytes = w.into_bytes();
+        let decoded = TaskSnapshot::decode(&mut CkptReader::new(&bytes)).expect("decodes");
+        assert_eq!(decoded, snap);
+        let restored = MatrixTask::restore(decoded, fields[0].clone(), Pattern::Diagonal, 21);
+        assert_eq!(restored.quantities(), done.quantities());
+
+        // Mid-pipeline (degraded, parked at Invert): coarsens to Build,
+        // and the resumed task reproduces the original result bitwise.
+        let mut mid = MatrixTask::new(1, fields[1].clone(), 4, Pattern::Diagonal, 21);
+        mid.degrade();
+        mid.step(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy build");
+        assert_eq!(mid.step_now(), JobStep::Invert);
+        let snap = mid.snapshot();
+        assert_eq!(
+            (snap.step, snap.c, snap.degradations),
+            (JobStep::Build, 2, 1)
+        );
+        let mut resumed = MatrixTask::restore(snap, fields[1].clone(), Pattern::Diagonal, 21);
+        resumed
+            .run(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy resume");
+        mid.run(Parallelism::Serial, &builder, &trace_measure)
+            .expect("healthy original");
+        assert_eq!(resumed.quantities(), mid.quantities());
     }
 
     #[test]

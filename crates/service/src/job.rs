@@ -45,6 +45,10 @@ pub struct JobSpec {
     /// Base RNG seed; sweep `s` draws its field and shift from
     /// `(seed, s)` only, so results are scheduling-independent.
     pub seed: u64,
+    /// Wall-clock budget from admission to completion, in milliseconds.
+    /// The supervisor's watchdog cancels the job when it expires;
+    /// `None` (the default) means no deadline.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -66,6 +70,7 @@ impl JobSpec {
             pattern: Pattern::Diagonal,
             sweeps,
             seed,
+            deadline_ms: None,
         }
     }
 
@@ -150,8 +155,16 @@ pub enum JobEvent {
         /// The unrecovered health-probe failure.
         error: FsiError,
     },
-    /// The job finished (all sweeps completed, or failed and drained);
-    /// always the final event on the channel.
+    /// The job was cancelled — by [`crate::ServiceHandle::cancel`] or by
+    /// the watchdog (deadline expiry) — and its remaining sweeps are
+    /// being drained unprocessed.
+    Cancelled {
+        /// Why: `"cancel"` for explicit cancellation, `"deadline"` for
+        /// watchdog deadline expiry.
+        reason: String,
+    },
+    /// The job finished (all sweeps completed, or failed/cancelled and
+    /// drained); always the final event on the channel.
     Finished(JobSummary),
 }
 
@@ -172,6 +185,11 @@ pub struct JobSummary {
     pub c_final: usize,
     /// Whether the job failed (ladder exhausted on some sweep).
     pub failed: bool,
+    /// Whether the job was cancelled (explicitly or by deadline).
+    pub cancelled: bool,
+    /// Full-task retry attempts the job consumed (after ladder
+    /// exhaustion, before failing).
+    pub retries: u32,
     /// Nanoseconds from submission to the first sweep starting.
     pub queue_wait_ns: u64,
     /// Nanoseconds from submission to completion.
@@ -188,6 +206,8 @@ pub struct JobOutcome {
     pub bins: Vec<(usize, Vec<f64>)>,
     /// The failure that ended the job, if any.
     pub error: Option<FsiError>,
+    /// The cancellation reason, if the job was cancelled.
+    pub cancelled: Option<String>,
 }
 
 /// The submitter's side of an admitted job: a receiver of streamed
@@ -220,12 +240,14 @@ impl JobHandle {
     pub fn wait(self) -> JobOutcome {
         let mut bins: Vec<(usize, Vec<f64>)> = Vec::new();
         let mut error = None;
+        let mut cancelled = None;
         let mut summary = None;
         while let Ok(event) = self.rx.recv() {
             match event {
                 JobEvent::Bin { sweep, quantities } => bins.push((sweep, quantities)),
                 JobEvent::Degraded { .. } => {}
                 JobEvent::Failed { error: e, .. } => error = Some(e),
+                JobEvent::Cancelled { reason } => cancelled = Some(reason),
                 JobEvent::Finished(s) => {
                     summary = Some(s);
                     break;
@@ -243,6 +265,8 @@ impl JobHandle {
             degradations: 0,
             c_final: 0,
             failed: true,
+            cancelled: false,
+            retries: 0,
             queue_wait_ns: 0,
             latency_ns: 0,
         });
@@ -250,6 +274,7 @@ impl JobHandle {
             summary,
             bins,
             error,
+            cancelled,
         }
     }
 }

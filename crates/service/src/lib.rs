@@ -25,6 +25,17 @@
 //!   its *own* cluster size `c` via the §II-C recovery ladder
 //!   ([`fsi_selinv::MatrixTask::degrade`]) and retries — the pool is
 //!   never poisoned, and neighbor jobs' outputs are bitwise unaffected.
+//! * **Durability** (when a state directory is configured, typically
+//!   from `$FSI_STATE_DIR`): every admission is journaled write-ahead
+//!   and every job checkpoints its completed bins periodically, so
+//!   [`Service::recover`] can replay a crashed instance's journal,
+//!   re-admit the surviving jobs, and resume each from its last good
+//!   checkpoint — with bins bitwise-identical to an uninterrupted run.
+//! * **Supervision**: per-job deadlines and [`ServiceHandle::cancel`], a
+//!   watchdog that requeues sweeps whose in-flight heartbeat goes stale,
+//!   bounded retry-with-backoff after the recovery ladder is exhausted,
+//!   and a graceful [`Service::drain`] that checkpoints in-flight work
+//!   for a later restart.
 //!
 //! Results are deterministic: each sweep's field and shift depend only
 //! on `(seed, sweep)`, so a job returns bitwise-identical bins no matter
@@ -48,7 +59,10 @@
 #![deny(missing_docs)]
 
 mod admission;
+mod durability;
 mod job;
+#[cfg(feature = "fault-inject")]
+pub mod killpoint;
 mod server;
 
 pub use admission::AdmitError;

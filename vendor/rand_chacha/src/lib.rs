@@ -73,6 +73,37 @@ impl ChaCha8Rng {
     }
 }
 
+impl ChaCha8Rng {
+    /// The number of 32-bit keystream words consumed so far — the
+    /// upstream crate's `get_word_pos` (restricted to `u64`, plenty for
+    /// any simulation). Together with the seed this pins the stream
+    /// state exactly, which is what checkpoint/restart needs.
+    pub fn word_pos(&self) -> u64 {
+        if self.index >= 16 {
+            // Block exhausted (or never generated): `counter` blocks of
+            // 16 words have been fully served.
+            self.counter.wrapping_mul(16)
+        } else {
+            // Mid-block: `counter` was already incremented by `refill`.
+            self.counter.wrapping_sub(1).wrapping_mul(16) + self.index as u64
+        }
+    }
+
+    /// Repositions the stream to word `pos`, as previously observed via
+    /// [`ChaCha8Rng::word_pos`] on a generator with the same seed. The
+    /// next `next_u32` returns exactly the word the original generator
+    /// would have returned.
+    pub fn set_word_pos(&mut self, pos: u64) {
+        self.counter = pos / 16;
+        self.index = 16;
+        let rem = (pos % 16) as usize;
+        if rem != 0 {
+            self.refill(); // advances counter, sets index = 0
+            self.index = rem;
+        }
+    }
+}
+
 impl RngCore for ChaCha8Rng {
     fn next_u32(&mut self) -> u32 {
         if self.index >= 16 {
@@ -131,6 +162,28 @@ mod tests {
         let n = 10_000;
         let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn word_pos_round_trips_at_every_offset() {
+        // For each number of consumed words, a fresh generator fast-
+        // forwarded via set_word_pos must continue bitwise identically.
+        for consumed in [0usize, 1, 5, 15, 16, 17, 31, 32, 100] {
+            let mut original = ChaCha8Rng::seed_from_u64(99);
+            for _ in 0..consumed {
+                original.next_u32();
+            }
+            assert_eq!(original.word_pos(), consumed as u64);
+            let mut resumed = ChaCha8Rng::seed_from_u64(99);
+            resumed.set_word_pos(consumed as u64);
+            for i in 0..64 {
+                assert_eq!(
+                    original.next_u32(),
+                    resumed.next_u32(),
+                    "divergence at word {i} after {consumed} consumed"
+                );
+            }
+        }
     }
 
     #[test]
